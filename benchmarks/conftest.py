@@ -1,0 +1,157 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper
+(DESIGN.md §4 maps them). The behavior corpus is built once per session
+at the profile selected by ``$REPRO_PROFILE`` (default ``smoke``;
+``paper`` for the scaled reference runs) and cached on disk under
+``.repro_cache`` so re-runs are instant.
+
+Each benchmark writes its regenerated artifact (the table rows / figure
+series) to ``benchmarks/artifacts/<name>.txt`` — those files are the
+measured side of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.behavior.metrics import resample_series
+from repro.behavior.space import BehaviorSpace
+from repro.experiments.config import get_profile
+from repro.experiments.corpus import BehaviorCorpus, build_corpus
+from repro.experiments.results import ResultStore
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def corpus(profile) -> BehaviorCorpus:
+    store = ResultStore(Path.cwd() / ".repro_cache" / f"bench-{profile.name}")
+    return build_corpus(profile, store=store)
+
+
+@pytest.fixture(scope="session")
+def space() -> BehaviorSpace:
+    return BehaviorSpace()
+
+
+@pytest.fixture(scope="session")
+def samples(profile, space) -> np.ndarray:
+    # The search budget is capped; reporting re-scores at full budget.
+    return space.sample(min(profile.coverage_samples, 200_000), seed=17)
+
+
+@pytest.fixture(scope="session")
+def search_samples(samples) -> np.ndarray:
+    """Smaller sample set for inner-loop coverage search."""
+    return samples[:4_000]
+
+
+@pytest.fixture(scope="session")
+def vectors(corpus):
+    """Corpus behavior vectors under the paper's max normalization."""
+    return corpus.vectors(scheme="max")
+
+
+@pytest.fixture(scope="session")
+def solver_runs(profile):
+    """The fixed-structure algorithms (Jacobi, LBP, DD) across their
+    size sweeps — outside the 215-run corpus but needed by Figs 11-13."""
+    from repro.experiments.config import (
+        FIXED_STRUCTURE_ALGORITHMS,
+        ExperimentMatrix,
+    )
+    from repro.experiments.corpus import execute_planned_run
+
+    store = ResultStore(Path.cwd() / ".repro_cache" / f"bench-{profile.name}")
+    matrix = ExperimentMatrix(profile)
+    out = {}
+    for alg in FIXED_STRUCTURE_ALGORITHMS:
+        out[alg] = [execute_planned_run(p, profile, store)
+                    for p in matrix.runs_for_algorithm(alg)]
+    return out
+
+
+@pytest.fixture()
+def artifact(profile):
+    """Writer for the regenerated table/figure text (per profile)."""
+
+    def write(name: str, text: str) -> str:
+        target = ARTIFACT_DIR / profile.name
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return text
+
+    return write
+
+
+# ----------------------------------------------------------------------
+# Series builders shared by the figure benchmarks
+# ----------------------------------------------------------------------
+
+def runs_sorted(corpus, algorithm):
+    runs = corpus.by_algorithm(algorithm)
+    return sorted(runs, key=lambda r: (r.spec.nedges or r.spec.nrows or 0,
+                                       r.spec.alpha or 0))
+
+
+def metric_vs_alpha(corpus, algorithm, metric):
+    """{size: (alphas, values)} for one algorithm/metric."""
+    out: dict = {}
+    for run in runs_sorted(corpus, algorithm):
+        size = run.spec.nedges
+        out.setdefault(size, ([], []))
+        out[size][0].append(run.spec.alpha)
+        out[size][1].append(run.metrics[metric])
+    return out
+
+def metric_vs_size(corpus, algorithm, metric):
+    """{alpha: (sizes, values)} for one algorithm/metric."""
+    out: dict = {}
+    for run in runs_sorted(corpus, algorithm):
+        alpha = run.spec.alpha
+        out.setdefault(alpha, ([], []))
+        out[alpha][0].append(run.spec.nedges)
+        out[alpha][1].append(run.metrics[metric])
+    return out
+
+
+def pooled_alpha_correlation(corpus, algorithm, metric):
+    """Correlation sign of metric vs α pooled over all sizes."""
+    from repro.experiments.reporting import correlation_sign
+
+    runs = corpus.by_algorithm(algorithm)
+    return correlation_sign([r.spec.alpha for r in runs],
+                            [r.metrics[metric] for r in runs])
+
+
+def pooled_size_correlation(corpus, algorithm, metric):
+    from repro.experiments.reporting import correlation_sign
+
+    runs = corpus.by_algorithm(algorithm)
+    return correlation_sign([np.log10(r.spec.nedges) for r in runs],
+                            [r.metrics[metric] for r in runs])
+
+
+def active_fraction_block(corpus, algorithm, n_points=24):
+    """{(size, alpha): resampled active-fraction curve}."""
+    return {
+        (run.spec.nedges, run.spec.alpha):
+            resample_series(run.trace.active_fraction(), n_points)
+        for run in runs_sorted(corpus, algorithm)
+    }
+
+
+def figure_text(title, series_lines):
+    from repro.experiments.reporting import format_curve_block
+
+    return format_curve_block(title, series_lines)

@@ -1,0 +1,71 @@
+"""Ablation — seed robustness of the methodology's conclusions.
+
+The corpus is built from one seed per generator. Are the paper-level
+conclusions (unrestricted ≫ single-algorithm; achievable spread levels)
+artifacts of that seed? This ablation rebuilds a reduced corpus under
+several seeds and checks the conclusions and scores are stable.
+"""
+
+import numpy as np
+
+from repro.behavior.metrics import compute_metrics
+from repro.behavior.run import run_computation
+from repro.behavior.space import normalize_corpus
+from repro.ensemble.search import best_ensemble
+from repro.experiments.config import GraphSpec
+from repro.experiments.reporting import format_table
+
+ALGS = ("cc", "sssp", "pagerank", "triangle", "kmeans", "als", "sgd")
+SIZES = (1_000, 3_000)
+ALPHAS = (2.0, 2.5, 3.0)
+SEEDS = (3, 17, 99)
+ENSEMBLE_SIZE = 6
+
+
+def _vectors_for_seed(seed):
+    from repro.algorithms.registry import info
+
+    metrics, tags = [], []
+    for alg in ALGS:
+        domain = info(alg).domain
+        for nedges in SIZES:
+            size = nedges if domain != "cf" else nedges // 3
+            for alpha in ALPHAS:
+                spec = GraphSpec.for_domain(domain, nedges=size,
+                                            alpha=alpha, seed=seed)
+                trace = run_computation(alg, spec)
+                metrics.append(compute_metrics(trace))
+                tags.append((alg, size, alpha))
+    return normalize_corpus(metrics, scheme="max", tags=tags)
+
+
+def test_ablation_seed_robustness(artifact, benchmark):
+    def compute():
+        rows = []
+        for seed in SEEDS:
+            vectors = _vectors_for_seed(seed)
+            unrestricted = best_ensemble(vectors, ENSEMBLE_SIZE,
+                                         "spread").score
+            singles = [
+                best_ensemble([v for v in vectors if v.tag[0] == alg],
+                              ENSEMBLE_SIZE, "spread",
+                              beam_width=16).score
+                for alg in ALGS
+            ]
+            rows.append((seed, unrestricted, max(singles),
+                         unrestricted / max(singles)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    artifact("ablation_seed_robustness", format_table(
+        ["seed", "unrestricted spread", "best single-alg", "advantage"],
+        rows, title=f"Ablation: seed robustness "
+                    f"(size-{ENSEMBLE_SIZE} ensembles, reduced corpus)"))
+
+    unrestricted = np.array([r[1] for r in rows])
+    advantages = np.array([r[3] for r in rows])
+    # The headline conclusion holds under every seed...
+    assert np.all(advantages > 1.0)
+    # ...and the achievable spread level is stable (< 10% relative
+    # spread across seeds).
+    assert unrestricted.std() / unrestricted.mean() < 0.10

@@ -1,0 +1,36 @@
+"""Figure 2 — K-Core metric values.
+
+Paper: "all metrics of KC are positively correlated to α" and "heavily
+depend on graph size and degree distribution".
+"""
+
+from conftest import (
+    figure_text,
+    metric_vs_alpha,
+    pooled_alpha_correlation,
+    pooled_size_correlation,
+)
+from repro.behavior.metrics import METRIC_NAMES
+
+
+def test_fig02_kc_metrics(corpus, artifact, benchmark):
+    series = benchmark(lambda: {m: metric_vs_alpha(corpus, "kcore", m)
+                                for m in METRIC_NAMES})
+    blocks = []
+    for metric, by_size in series.items():
+        blocks.append(figure_text(
+            f"Figure 2 [{metric}] (x = α, one series per size)",
+            {f"nedges={size:g}": data for size, data in by_size.items()},
+        ))
+    artifact("fig02_kc_metrics", "\n\n".join(blocks))
+
+    # Compute and communication intensity rise with α (paper-positive);
+    # EREAD is allowed to be flat at library scale.
+    assert pooled_alpha_correlation(corpus, "kcore", "updt") == "+"
+    assert pooled_alpha_correlation(corpus, "kcore", "work") == "+"
+    assert pooled_alpha_correlation(corpus, "kcore", "msg") == "+"
+    assert pooled_alpha_correlation(corpus, "kcore", "eread") in ("+", "0")
+
+    # Size-dependence: per-edge intensity falls as graphs grow.
+    for metric in ("updt", "work", "msg"):
+        assert pooled_size_correlation(corpus, "kcore", metric) == "-"

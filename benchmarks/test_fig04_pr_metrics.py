@@ -1,0 +1,47 @@
+"""Figure 4 — PageRank metric values.
+
+Paper: "all metrics heavily depend on graph size and degree
+distribution ... communication intensity of PR is negatively correlated
+to α."
+
+Reproduction note (EXPERIMENTS.md): the structural dependence
+reproduces — every PR metric responds strongly to both size and α — but
+the *sign* of the communication correlation is positive on this
+engine's delta-PageRank (low-degree chains at high α stay active
+longer), where the paper reports negative. The benchmark asserts the
+strong dependence (the robust claim) and records the measured signs.
+"""
+
+from conftest import (
+    figure_text,
+    metric_vs_alpha,
+    pooled_alpha_correlation,
+    pooled_size_correlation,
+)
+from repro.behavior.metrics import METRIC_NAMES
+
+
+def test_fig04_pr_metrics(corpus, artifact, benchmark):
+    series = benchmark(lambda: {m: metric_vs_alpha(corpus, "pagerank", m)
+                                for m in METRIC_NAMES})
+    signs = {m: (pooled_alpha_correlation(corpus, "pagerank", m),
+                 pooled_size_correlation(corpus, "pagerank", m))
+             for m in METRIC_NAMES}
+    blocks = []
+    for metric, by_size in series.items():
+        blocks.append(figure_text(
+            f"Figure 4 [{metric}] (x = α, one series per size) "
+            f"corr(α)={signs[metric][0]} corr(size)={signs[metric][1]}",
+            {f"nedges={size:g}": data for size, data in by_size.items()},
+        ))
+    artifact("fig04_pr_metrics", "\n\n".join(blocks))
+
+    # Strong dependence on the degree distribution: every metric
+    # responds to α (direction recorded above and in EXPERIMENTS.md).
+    for metric in METRIC_NAMES:
+        assert signs[metric][0] != "0", f"{metric} is α-blind"
+    # Per-edge intensity never *grows* with size; at large scales the
+    # per-edge curves flatten (pooled correlation "0"), at small scales
+    # they decline ("-").
+    for metric in METRIC_NAMES:
+        assert signs[metric][1] in ("-", "0"), metric

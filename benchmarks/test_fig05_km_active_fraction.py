@@ -1,0 +1,34 @@
+"""Figure 5 — K-Means active fraction for all graphs.
+
+Paper: "KM activates all vertices all the time. It converges much more
+slowly than GA algorithms."
+"""
+
+import numpy as np
+
+from conftest import active_fraction_block
+from repro.experiments.reporting import sparkline
+
+
+def test_fig05_km_active_fraction(corpus, artifact, benchmark):
+    block = benchmark(lambda: active_fraction_block(corpus, "kmeans"))
+    lines = ["Figure 5: KM active fraction (iterations in parentheses)"]
+    iters = {(r.spec.nedges, r.spec.alpha): r.trace.n_iterations
+             for r in corpus.by_algorithm("kmeans")}
+    for key, curve in block.items():
+        size, alpha = key
+        lines.append(f"  nedges={size:<8g} α={alpha}: {sparkline(curve)} "
+                     f"({iters[key]} iters)")
+    artifact("fig05_km_active_fraction", "\n".join(lines))
+
+    # All vertices active for the whole lifecycle.
+    for curve in block.values():
+        np.testing.assert_allclose(curve, 1.0)
+
+    # Slower convergence than the GA frontier algorithms on the same
+    # structures (paper: >700 iterations vs tens for GA).
+    km_iters = np.array(list(iters.values()), dtype=float)
+    for ga in ("cc", "sssp", "triangle"):
+        ga_iters = np.array([r.trace.n_iterations
+                             for r in corpus.by_algorithm(ga)], dtype=float)
+        assert km_iters.mean() > ga_iters.mean()

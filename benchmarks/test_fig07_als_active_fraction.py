@@ -1,0 +1,42 @@
+"""Figure 7 — ALS active fraction for all graphs.
+
+Paper: "active fraction exhibits different trends across graph sizes
+and degree distributions. ALS converges much more slowly over larger
+graphs, showing a nearly 60-fold difference in the number of
+iterations." (The fold difference scales with the size span; the paper
+sweeps 3 decades, the library profiles fewer — the benchmark asserts
+a strong monotone iteration growth, and the artifact records the fold.)
+"""
+
+import numpy as np
+
+from conftest import active_fraction_block
+from repro.experiments.reporting import correlation_sign, sparkline
+
+
+def test_fig07_als_active_fraction(corpus, artifact, benchmark):
+    block = benchmark(lambda: active_fraction_block(corpus, "als"))
+    runs = corpus.by_algorithm("als")
+    iters = {(r.spec.nedges, r.spec.alpha): r.trace.n_iterations
+             for r in runs}
+    fold = max(iters.values()) / min(iters.values())
+    lines = [f"Figure 7: ALS active fraction (iteration fold range: "
+             f"{fold:.1f}x)"]
+    for key, curve in block.items():
+        size, alpha = key
+        lines.append(f"  nedges={size:<8g} α={alpha}: {sparkline(curve)} "
+                     f"({iters[key]} iters)")
+    artifact("fig07_als_active_fraction", "\n".join(lines))
+
+    # ALS is the CF exception: its active fraction is NOT constant 1.0.
+    assert any(curve.min() < 0.99 for curve in block.values())
+
+    # Trends differ across graphs: curves are not all alike.
+    curves = np.vstack(list(block.values()))
+    assert curves.std(axis=0).mean() > 0.02
+
+    # Larger graphs take more iterations to converge.
+    assert correlation_sign(
+        [np.log10(r.spec.nedges) for r in runs],
+        [r.trace.n_iterations for r in runs]) == "+"
+    assert fold > 1.5

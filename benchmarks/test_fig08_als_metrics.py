@@ -1,0 +1,37 @@
+"""Figure 8 — ALS metric values.
+
+Paper: "Figure 8 explains why ALS is so interesting as a benchmark. ALS
+behavior strongly depends on graph size and degree distribution. We
+observe high variation in the average value of all 4 metrics."
+"""
+
+import numpy as np
+
+from conftest import (
+    figure_text,
+    metric_vs_alpha,
+    pooled_size_correlation,
+)
+from repro.behavior.metrics import METRIC_NAMES
+
+
+def test_fig08_als_metrics(corpus, artifact, benchmark):
+    series = benchmark(lambda: {m: metric_vs_alpha(corpus, "als", m)
+                                for m in METRIC_NAMES})
+    blocks = []
+    for metric, by_size in series.items():
+        blocks.append(figure_text(
+            f"Figure 8 [{metric}] (x = α, one series per size)",
+            {f"nedges={size:g}": data for size, data in by_size.items()},
+        ))
+    artifact("fig08_als_metrics", "\n\n".join(blocks))
+
+    runs = corpus.by_algorithm("als")
+    # High variation in all four metrics across the grid.
+    for metric in METRIC_NAMES:
+        vals = np.array([r.metrics[metric] for r in runs])
+        assert vals.max() / max(vals.min(), 1e-12) > 2.0, metric
+
+    # Strong size dependence (per-edge intensity falls as graphs grow).
+    for metric in METRIC_NAMES:
+        assert pooled_size_correlation(corpus, "als", metric) == "-", metric

@@ -1,0 +1,49 @@
+"""Figure 10 — SVD metric values.
+
+Paper: "none of SGD and SVD exhibits significant changes in behavior
+across graph sizes ... compute intensity is positively correlated to α;
+for SVD, MSG is also positively correlated to α. NMF exhibits similar
+results to SVD."
+"""
+
+from conftest import (
+    figure_text,
+    metric_vs_alpha,
+    pooled_alpha_correlation,
+)
+from repro.behavior.metrics import METRIC_NAMES
+
+
+def test_fig10_svd_metrics(corpus, artifact, benchmark):
+    series = benchmark(lambda: {m: metric_vs_alpha(corpus, "svd", m)
+                                for m in METRIC_NAMES})
+    blocks = []
+    for metric, by_size in series.items():
+        blocks.append(figure_text(
+            f"Figure 10 [{metric}] (x = α, one series per size)",
+            {f"nedges={size:g}": data for size, data in by_size.items()},
+        ))
+    artifact("fig10_svd_metrics", "\n\n".join(blocks))
+
+    runs = corpus.by_algorithm("svd")
+    # Lanczos alternation: one side's messages per iteration, all edges
+    # gathered — both pinned per edge.
+    for run in runs:
+        assert run.metrics["eread"] == 2.0
+        assert run.metrics["msg"] == 1.0
+    # Fixed restart schedule → identical iteration counts at every size.
+    assert len({r.trace.n_iterations for r in runs}) == 1
+
+    # Compute intensity rises with α.
+    assert pooled_alpha_correlation(corpus, "svd", "work") == "+"
+    assert pooled_alpha_correlation(corpus, "svd", "updt") == "+"
+
+
+def test_fig10_nmf_similar_to_svd(corpus):
+    """Paper: 'NMF exhibits similar results to SVD' — same α-direction
+    of compute intensity, same structural EREAD."""
+    assert pooled_alpha_correlation(corpus, "nmf", "work") == \
+        pooled_alpha_correlation(corpus, "svd", "work")
+    for run in corpus.by_algorithm("nmf"):
+        assert run.metrics["eread"] == 2.0
+        assert run.metrics["msg"] == 1.0

@@ -1,0 +1,78 @@
+"""Figures 14 & 15 — spread and coverage of single-algorithm ensembles.
+
+Paper: "as the ensemble size increases, for all 11 algorithms, spread
+decreases steadily ... restricted to a single algorithm, coverage
+increases very slowly ... the spread/coverage achieved by single
+algorithm ensembles falls well below our empirical upper bound."
+"""
+
+import numpy as np
+
+from repro.ensemble.bounds import UpperBounds
+from repro.ensemble.search import best_ensemble
+from repro.experiments.config import CORPUS_ALGORITHMS
+from repro.experiments.reporting import format_series
+
+SIZES = (2, 4, 6, 8, 10, 12, 14)
+
+
+def _single_algorithm_curves(vectors, metric, samples):
+    curves = {}
+    for alg in CORPUS_ALGORITHMS:
+        pool = [v for v in vectors if v.tag[0] == alg]
+        sizes = [s for s in SIZES if s <= len(pool)]
+        scores = [best_ensemble(pool, s, metric, samples=samples,
+                                beam_width=32).score for s in sizes]
+        curves[alg] = (sizes, scores)
+    return curves
+
+
+def test_fig14_spread_single_algorithm(vectors, search_samples, samples,
+                                       artifact, benchmark):
+    curves = benchmark.pedantic(
+        lambda: _single_algorithm_curves(vectors, "spread", search_samples),
+        rounds=1, iterations=1)
+    bound = UpperBounds.compute(list(SIZES), samples=samples)
+    lines = ["Figure 14: best spread, single-algorithm ensembles"]
+    for alg, (sizes, scores) in curves.items():
+        lines.append("  " + format_series(alg, sizes, scores))
+    lines.append("  " + format_series("UPPER BOUND", bound.sizes,
+                                      bound.spread_bound))
+    artifact("fig14_spread_single_algorithm", "\n".join(lines))
+
+    for alg, (sizes, scores) in curves.items():
+        # Spread decreases steadily with ensemble size.
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:])), alg
+        # Falls well below the upper bound (at least 25% below).
+        for size, score in zip(sizes, scores):
+            ub = bound.spread_bound[bound.sizes.index(size)]
+            assert score < ub
+        assert scores[-1] < 0.75 * bound.spread_bound[
+            bound.sizes.index(sizes[-1])], alg
+
+
+def test_fig15_coverage_single_algorithm(vectors, search_samples, samples,
+                                         artifact, benchmark):
+    curves = benchmark.pedantic(
+        lambda: _single_algorithm_curves(vectors, "coverage",
+                                         search_samples),
+        rounds=1, iterations=1)
+    bound = UpperBounds.compute(list(SIZES), samples=samples)
+    lines = ["Figure 15: best coverage, single-algorithm ensembles"]
+    for alg, (sizes, scores) in curves.items():
+        lines.append("  " + format_series(alg, sizes, scores))
+    lines.append("  " + format_series("UPPER BOUND", bound.sizes,
+                                      bound.coverage_bound))
+    artifact("fig15_coverage_single_algorithm", "\n".join(lines))
+
+    for alg, (sizes, scores) in curves.items():
+        # Coverage increases, but slowly: the total gain over the whole
+        # curve is modest compared to the bound's.
+        assert all(b >= a - 1e-6 for a, b in zip(scores, scores[1:])), alg
+        for size, score in zip(sizes, scores):
+            ub = bound.coverage_bound[bound.sizes.index(size)]
+            assert score < ub, (alg, size)
+    # Single-algorithm coverage gains flatten: mean last-step gain is
+    # tiny relative to the first-step level.
+    gains = [scores[-1] - scores[-2] for _s, scores in curves.values()]
+    assert np.mean(gains) < 0.05

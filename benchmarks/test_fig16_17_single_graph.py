@@ -1,0 +1,106 @@
+"""Figures 16 & 17 — spread and coverage of single-graph ensembles.
+
+Paper: "we select fifteen graphs with varied size and α ... For each
+single-graph ensemble, we consider 11 runs over 11 algorithms ...
+none of the graph structures enables spread anywhere close to the upper
+bound, [but] the achieved spread is significantly higher than with
+single algorithms. Graph structure appears to be a more important
+factor in behavior variation than algorithm ... no single graph
+structure is sufficient to fully explore the behavior space."
+"""
+
+import numpy as np
+
+from repro.ensemble.bounds import UpperBounds
+from repro.ensemble.search import best_ensemble
+from repro.experiments.config import CORPUS_ALGORITHMS
+from repro.experiments.reporting import format_series
+
+SIZES = (2, 4, 6, 8, 10)
+
+
+def structure_pools(corpus, vectors):
+    """{(size_rank, alpha): vectors} — one pool per graph structure.
+
+    Like the paper, structures are the non-largest sizes (so all 11
+    algorithms, including AD, have a run) and the pool pairs the GA
+    structure with the same-rank clustering and CF runs.
+    """
+    ga_sizes = sorted(corpus.profile.ga_sizes)[:3]
+    cf_sizes = sorted(corpus.profile.cf_sizes)[:3]
+    pools = {}
+    for rank, (ga_size, cf_size) in enumerate(zip(ga_sizes, cf_sizes)):
+        for alpha in corpus.profile.alphas:
+            pool = [v for v in vectors
+                    if v.tag[2] == alpha and v.tag[1] in (ga_size, cf_size)]
+            if len(pool) >= len(CORPUS_ALGORITHMS):
+                pools[(ga_size, alpha)] = pool
+    return pools
+
+
+def _curves(pools, metric, samples):
+    curves = {}
+    for key, pool in pools.items():
+        sizes = [s for s in SIZES if s <= len(pool)]
+        scores = [best_ensemble(pool, s, metric, samples=samples,
+                                beam_width=32).score for s in sizes]
+        curves[key] = (sizes, scores)
+    return curves
+
+
+def test_fig16_spread_single_graph(corpus, vectors, search_samples, samples,
+                                   artifact, benchmark):
+    pools = structure_pools(corpus, vectors)
+    curves = benchmark.pedantic(
+        lambda: _curves(pools, "spread", search_samples),
+        rounds=1, iterations=1)
+    bound = UpperBounds.compute(list(SIZES), samples=samples)
+    lines = [f"Figure 16: best spread, single-graph ensembles "
+             f"({len(pools)} structures)"]
+    for (size, alpha), (sizes, scores) in curves.items():
+        lines.append("  " + format_series(f"nedges={size:g} α={alpha}",
+                                          sizes, scores))
+    lines.append("  " + format_series("UPPER BOUND", bound.sizes,
+                                      bound.spread_bound))
+    artifact("fig16_spread_single_graph", "\n".join(lines))
+
+    # Not anywhere close to the bound, but higher than single-algorithm
+    # ensembles at matched size (paper's central comparison).
+    single_alg_best = max(
+        best_ensemble([v for v in vectors if v.tag[0] == alg], 6, "spread",
+                      samples=search_samples, beam_width=32).score
+        for alg in CORPUS_ALGORITHMS
+        if len([v for v in vectors if v.tag[0] == alg]) >= 6)
+    graph_scores_at_6 = [scores[sizes.index(6)]
+                         for sizes, scores in curves.values() if 6 in sizes]
+    assert np.median(graph_scores_at_6) > single_alg_best
+    for (key, (sizes, scores)) in curves.items():
+        for size, score in zip(sizes, scores):
+            assert score < bound.spread_bound[bound.sizes.index(size)]
+
+
+def test_fig17_coverage_single_graph(corpus, vectors, search_samples,
+                                     samples, artifact, benchmark):
+    pools = structure_pools(corpus, vectors)
+    curves = benchmark.pedantic(
+        lambda: _curves(pools, "coverage", search_samples),
+        rounds=1, iterations=1)
+    bound = UpperBounds.compute(list(SIZES), samples=samples)
+    lines = [f"Figure 17: best coverage, single-graph ensembles "
+             f"({len(pools)} structures)"]
+    for (size, alpha), (sizes, scores) in curves.items():
+        lines.append("  " + format_series(f"nedges={size:g} α={alpha}",
+                                          sizes, scores))
+    lines.append("  " + format_series("UPPER BOUND", bound.sizes,
+                                      bound.coverage_bound))
+    artifact("fig17_coverage_single_graph", "\n".join(lines))
+
+    # Flattening trend, below the bound everywhere.
+    for (key, (sizes, scores)) in curves.items():
+        assert all(b >= a - 1e-6 for a, b in zip(scores, scores[1:])), key
+        for size, score in zip(sizes, scores):
+            assert score < bound.coverage_bound[bound.sizes.index(size)]
+        # No single structure explores fully: final gap to bound stays
+        # visible.
+        final_ub = bound.coverage_bound[bound.sizes.index(sizes[-1])]
+        assert scores[-1] < final_ub - 0.01

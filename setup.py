@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file only exists so
+``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable installs bypass PEP 660 wheel builds).
+"""
+
+from setuptools import setup
+
+setup()

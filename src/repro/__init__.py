@@ -1,0 +1,67 @@
+"""repro — reproduction of Yang & Chien, "Understanding Graph Computation
+Behavior to Enable Robust Benchmarking" (HPDC 2015).
+
+The package provides four layers:
+
+``repro.graph`` / ``repro.generators``
+    An immutable CSR graph substrate and the synthetic workload
+    generators (power-law, bipartite rating, matrix, grid, MRF graphs)
+    used throughout the paper's experiment matrix.
+
+``repro.engine``
+    A from-scratch synchronous Gather-Apply-Scatter (GAS) engine in the
+    style of GraphLab v2.2, with exact per-iteration behavior
+    instrumentation (active vertices, vertex updates, edge reads,
+    messages, apply work).
+
+``repro.algorithms``
+    The paper's fourteen vertex programs: CC, K-Core, Triangle Counting,
+    SSSP, PageRank, Approximate Diameter, K-Means, ALS, NMF, SGD, SVD,
+    Jacobi, Loopy Belief Propagation, and Dual Decomposition.
+
+``repro.behavior`` / ``repro.ensemble`` / ``repro.experiments``
+    The paper's primary contribution: the 4-D behavior space
+    ``<UPDT, WORK, EREAD, MSG>``, the *spread* and *coverage* ensemble
+    metrics, best-ensemble search, and the experiment harness that
+    regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import run_computation, GraphSpec
+    trace = run_computation("pagerank", GraphSpec.ga(nedges=10_000, alpha=2.5))
+    print(trace.summary())
+"""
+
+from repro.behavior.run import GraphComputation, run_computation
+from repro.behavior.space import BehaviorSpace, BehaviorVector
+from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.engine import EngineOptions, SynchronousEngine
+from repro.engine.program import Direction, VertexProgram
+from repro.ensemble.ensemble import Ensemble
+from repro.ensemble.metrics import coverage, mean_min_distance, spread
+from repro.experiments.config import ExperimentMatrix, GraphSpec, Profile
+from repro.graph.csr import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BehaviorSpace",
+    "BehaviorVector",
+    "Direction",
+    "EngineOptions",
+    "Ensemble",
+    "ExperimentMatrix",
+    "Graph",
+    "GraphComputation",
+    "GraphSpec",
+    "IterationRecord",
+    "Profile",
+    "RunTrace",
+    "SynchronousEngine",
+    "VertexProgram",
+    "__version__",
+    "coverage",
+    "mean_min_distance",
+    "run_computation",
+    "spread",
+]

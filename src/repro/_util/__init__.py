@@ -1,0 +1,29 @@
+"""Internal utilities shared across repro subpackages."""
+
+from repro._util.errors import (
+    ConvergenceError,
+    GraphConstructionError,
+    ReproError,
+    ResourceLimitError,
+    ValidationError,
+)
+from repro._util.segments import (
+    REDUCE_IDENTITY,
+    concat_ranges,
+    segment_offsets,
+    segmented_reduce,
+)
+from repro._util.timing import Stopwatch
+
+__all__ = [
+    "REDUCE_IDENTITY",
+    "ConvergenceError",
+    "GraphConstructionError",
+    "ReproError",
+    "ResourceLimitError",
+    "Stopwatch",
+    "ValidationError",
+    "concat_ranges",
+    "segment_offsets",
+    "segmented_reduce",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, ...)."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when an edge list / specification cannot form a valid graph."""
+
+
+class ResourceLimitError(ReproError):
+    """Raised when a computation would exceed a configured resource budget.
+
+    This reproduces the paper's observation that 5 runs of Approximate
+    Diameter at the largest graph size failed: AD's per-vertex
+    probabilistic-counting state is the largest of any algorithm in the
+    suite, and the engine enforces an explicit memory budget instead of
+    dying with an allocation failure.
+    """
+
+    def __init__(self, message: str, *, required_bytes: int | None = None,
+                 budget_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class ConvergenceError(ReproError):
+    """Raised when an algorithm that must converge fails to do so."""

@@ -1,0 +1,154 @@
+"""Vectorized segment operations over CSR-style index ranges.
+
+These are the hot kernels behind the Gather phase of the GAS engine:
+given the frontier's per-vertex adjacency ranges in a CSR structure, we
+need (a) the concatenation of all adjacency slots (``concat_ranges``)
+and (b) a per-vertex reduction over per-edge values
+(``segmented_reduce``), both without Python-level loops.
+
+``np.ufunc.reduceat`` has two sharp edges that this module papers over:
+
+* an *empty* segment does not reduce to the identity — it returns the
+  element at the segment's start index;
+* a segment starting at ``len(values)`` raises.
+
+``segmented_reduce`` therefore masks empty segments explicitly and fills
+them with the reduction identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+#: Identity element per supported reduction, used to fill empty segments.
+REDUCE_IDENTITY: dict[str, float] = {
+    "sum": 0.0,
+    "min": np.inf,
+    "max": -np.inf,
+    "or": 0,  # bitwise OR on integer payloads (Approximate Diameter)
+}
+
+_UFUNC: dict[str, np.ufunc] = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+    "or": np.bitwise_or,
+}
+
+
+def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate integer ranges ``[starts[i], ends[i])`` into one index array.
+
+    Equivalent to ``np.concatenate([np.arange(s, e) for s, e in
+    zip(starts, ends)])`` but fully vectorized.
+
+    Parameters
+    ----------
+    starts, ends:
+        Integer arrays of equal length with ``ends >= starts`` elementwise.
+
+    Returns
+    -------
+    np.ndarray
+        int64 array of length ``(ends - starts).sum()``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.shape != ends.shape or starts.ndim != 1:
+        raise ValidationError(
+            f"starts/ends must be equal-length 1-D arrays, got shapes "
+            f"{starts.shape} and {ends.shape}"
+        )
+    if np.any(ends < starts):
+        raise ValidationError("every range must satisfy end >= start")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Within each segment we want starts[i] + (0, 1, ..., counts[i]-1).
+    # np.arange(total) minus each segment's global offset gives the local
+    # offset; adding the segment's start yields the absolute index.
+    seg_of_slot = np.repeat(np.arange(starts.size, dtype=np.int64), counts)
+    global_offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    local = np.arange(total, dtype=np.int64) - global_offsets[seg_of_slot]
+    return starts[seg_of_slot] + local
+
+
+def segment_offsets(counts: np.ndarray) -> np.ndarray:
+    """Return the start offset of each segment given per-segment counts.
+
+    ``offsets[i] = counts[:i].sum()``; suitable as the ``indices``
+    argument of ``np.ufunc.reduceat`` (modulo empty-segment handling,
+    which :func:`segmented_reduce` performs).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ValidationError("counts must be 1-D")
+    if np.any(counts < 0):
+        raise ValidationError("counts must be non-negative")
+    offsets = np.empty(counts.size, dtype=np.int64)
+    if counts.size:
+        offsets[0] = 0
+        np.cumsum(counts[:-1], out=offsets[1:])
+    return offsets
+
+
+def segmented_reduce(
+    values: np.ndarray,
+    counts: np.ndarray,
+    op: str = "sum",
+    *,
+    identity: float | None = None,
+) -> np.ndarray:
+    """Reduce consecutive segments of ``values`` with the given operation.
+
+    ``values`` is the concatenation of segments whose lengths are given
+    by ``counts``. Supports 1-D values (result shape ``(len(counts),)``)
+    and 2-D values of shape ``(total, width)`` (result
+    ``(len(counts), width)``, reduced along axis 0 per segment).
+
+    Empty segments reduce to ``identity`` (default: the natural identity
+    of ``op`` from :data:`REDUCE_IDENTITY`).
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(counts.sum(),)`` or ``(counts.sum(), width)``.
+    counts:
+        Non-negative int array; segment lengths.
+    op:
+        One of ``"sum"``, ``"min"``, ``"max"``.
+    identity:
+        Fill value for empty segments; defaults per ``op``.
+    """
+    if op not in _UFUNC:
+        raise ValidationError(f"unsupported reduction {op!r}; "
+                              f"expected one of {sorted(_UFUNC)}")
+    counts = np.asarray(counts, dtype=np.int64)
+    values = np.asarray(values)
+    total = int(counts.sum())
+    if values.shape[0] != total:
+        raise ValidationError(
+            f"values has {values.shape[0]} rows but counts sum to {total}"
+        )
+    fill = REDUCE_IDENTITY[op] if identity is None else identity
+    out_shape = (counts.size,) if values.ndim == 1 else (counts.size, values.shape[1])
+    dtype = np.result_type(values.dtype, np.float64) if values.dtype.kind == "f" else values.dtype
+    out = np.full(out_shape, fill, dtype=dtype)
+    if counts.size == 0 or total == 0:
+        return out
+
+    nonempty = counts > 0
+    if np.all(nonempty):
+        offsets = segment_offsets(counts)
+        out[:] = _UFUNC[op].reduceat(values, offsets, axis=0)
+        return out
+
+    # Reduce only the non-empty segments; empty ones keep the identity.
+    ne_counts = counts[nonempty]
+    offsets = segment_offsets(ne_counts)
+    reduced = _UFUNC[op].reduceat(values, offsets, axis=0)
+    out[nonempty] = reduced
+    return out

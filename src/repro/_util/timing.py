@@ -1,0 +1,49 @@
+"""Small timing helper used by the engine's measured work model."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch around ``time.perf_counter``.
+
+    Used to attribute CPU time to the Apply phase (the paper's WORK
+    metric in ``measured`` mode). Supports use as a context manager::
+
+        sw = Stopwatch()
+        with sw:
+            do_apply()
+        print(sw.total)
+    """
+
+    __slots__ = ("total", "_started_at")
+
+    def __init__(self) -> None:
+        self.total: float = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed time of this interval."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch not running")
+        elapsed = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.total += elapsed
+        return elapsed
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,34 @@
+"""The paper's fourteen graph algorithms as GAS vertex programs.
+
+Domains (paper Section 2.1):
+
+- **Graph Analytics**: Connected Components, K-Core decomposition,
+  Triangle Counting, Single-Source Shortest Path, PageRank, Approximate
+  Diameter;
+- **Clustering**: K-Means;
+- **Collaborative Filtering**: Alternating Least Squares, Non-negative
+  Matrix Factorization, Stochastic Gradient Descent, Singular Value
+  Decomposition (restarted Lanczos);
+- **Other**: Jacobi, Loopy Belief Propagation, Dual Decomposition.
+
+Use :func:`repro.algorithms.registry.create` (or the top-level
+:func:`repro.run_computation`) to instantiate by name.
+"""
+
+from repro.algorithms.registry import (
+    ALGORITHM_NAMES,
+    AlgorithmInfo,
+    create,
+    info,
+    iter_algorithms,
+    register,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AlgorithmInfo",
+    "create",
+    "info",
+    "iter_algorithms",
+    "register",
+]

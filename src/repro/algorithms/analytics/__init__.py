@@ -1,0 +1,17 @@
+"""Graph Analytics algorithms (paper Section 2.1, domain GA)."""
+
+from repro.algorithms.analytics.cc import ConnectedComponents
+from repro.algorithms.analytics.diameter import ApproximateDiameter
+from repro.algorithms.analytics.kcore import KCoreDecomposition
+from repro.algorithms.analytics.pagerank import PageRank
+from repro.algorithms.analytics.sssp import SingleSourceShortestPath
+from repro.algorithms.analytics.triangle import TriangleCounting
+
+__all__ = [
+    "ApproximateDiameter",
+    "ConnectedComponents",
+    "KCoreDecomposition",
+    "PageRank",
+    "SingleSourceShortestPath",
+    "TriangleCounting",
+]

@@ -1,0 +1,79 @@
+"""Vectorized neighbor-set intersection for Triangle Counting.
+
+For a batch of vertex pairs ``(u_i, v_i)`` that are edges of an
+undirected graph, count ``|N(u_i) ∩ N(v_i)|`` without a Python loop:
+expand the adjacency of the smaller-degree endpoint of each pair and
+test membership of ``(candidate, other-endpoint)`` against the sorted
+edge-key set with ``searchsorted``. Total work is
+``Σ_edges min(deg(u), deg(v))`` — the classic triangle-counting bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.segments import concat_ranges, segmented_reduce
+from repro.graph.csr import Graph
+
+
+def sorted_edge_keys(graph: Graph) -> np.ndarray:
+    """Canonical sorted ``lo * n + hi`` keys of the undirected edge set."""
+    src, dst = graph.edge_endpoints()
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keys = lo * np.int64(graph.n_vertices) + hi
+    keys.sort()
+    return keys
+
+
+def common_neighbor_counts(
+    graph: Graph,
+    u: np.ndarray,
+    v: np.ndarray,
+    edge_keys: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Count common neighbors of each pair ``(u[i], v[i])``.
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph.
+    u, v:
+        Pair endpoint arrays (need not be edges, but for TC they are).
+    edge_keys:
+        Output of :func:`sorted_edge_keys` for ``graph``.
+
+    Returns
+    -------
+    (counts, expansion):
+        ``counts[i] = |N(u[i]) ∩ N(v[i])|``; ``expansion`` is the total
+        number of candidate memberships tested (the data-dependent work
+        the paper's WORK metric sees for TC).
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if edge_keys.size == 0 or u.size == 0:
+        return np.zeros(u.size), 0
+    n = np.int64(graph.n_vertices)
+    deg = graph.degree
+    swap = deg[u] > deg[v]
+    small = np.where(swap, v, u)
+    big = np.where(swap, u, v)
+
+    counts_per_pair = (graph.out_ptr[small + 1] - graph.out_ptr[small])
+    slots = concat_ranges(graph.out_ptr[small], graph.out_ptr[small + 1])
+    cand = graph.out_dst[slots]
+    other = np.repeat(big, counts_per_pair)
+
+    lo = np.minimum(cand, other)
+    hi = np.maximum(cand, other)
+    key = lo * n + hi
+    pos = np.searchsorted(edge_keys, key)
+    pos = np.minimum(pos, edge_keys.size - 1)
+    # A candidate equal to the other endpoint is not a common neighbor
+    # (self-pairing), and edge_keys never contains self-loops, so the
+    # membership test already excludes it.
+    hit = (edge_keys[pos] == key) & (cand != other)
+
+    per_pair = segmented_reduce(hit.astype(np.float64), counts_per_pair, "sum")
+    return per_pair, int(slots.size)

@@ -1,0 +1,18 @@
+"""Collaborative Filtering algorithms (paper Section 2.1, domain CF).
+
+All four operate on the bipartite user-item rating graph produced by
+:func:`repro.generators.bipartite_rating_graph`: users are vertices
+``0..n_users-1``, items the rest, and each edge's weight is a rating.
+"""
+
+from repro.algorithms.cf.als import AlternatingLeastSquares
+from repro.algorithms.cf.nmf import NonNegativeMatrixFactorization
+from repro.algorithms.cf.sgd import StochasticGradientDescent
+from repro.algorithms.cf.svd import LanczosSVD
+
+__all__ = [
+    "AlternatingLeastSquares",
+    "LanczosSVD",
+    "NonNegativeMatrixFactorization",
+    "StochasticGradientDescent",
+]

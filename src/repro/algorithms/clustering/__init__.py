@@ -1,0 +1,5 @@
+"""Clustering algorithms (paper Section 2.1, domain Clustering)."""
+
+from repro.algorithms.clustering.kmeans import KMeansClustering
+
+__all__ = ["KMeansClustering"]

@@ -1,0 +1,11 @@
+"""Linear-solver and graphical-model algorithms (paper Section 2.1)."""
+
+from repro.algorithms.solvers.dd import DualDecomposition
+from repro.algorithms.solvers.jacobi import JacobiSolver
+from repro.algorithms.solvers.lbp import LoopyBeliefPropagation
+
+__all__ = [
+    "DualDecomposition",
+    "JacobiSolver",
+    "LoopyBeliefPropagation",
+]

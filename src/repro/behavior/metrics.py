@@ -1,0 +1,97 @@
+"""The paper's five behavior metrics (Section 3.4).
+
+From a :class:`~repro.behavior.trace.RunTrace` we derive:
+
+1. **active fraction** — per-iteration series ``|active| / |V|``;
+2. **UPDT** — average vertex updates per iteration;
+3. **WORK** — average apply cost per iteration;
+4. **EREAD** — average edge reads per iteration;
+5. **MSG** — average messages per iteration.
+
+UPDT/WORK/EREAD/MSG are divided by the number of edges ("to capture the
+per-edge behavior") — that is what :class:`BehaviorMetrics` holds. The
+final normalization "to make it less than 1.0" is corpus-relative and
+lives in :func:`repro.behavior.space.normalize_corpus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.behavior.trace import RunTrace
+
+#: The four dimensions of the behavior vector (Equation 2), in order.
+METRIC_NAMES: tuple[str, ...] = ("updt", "work", "eread", "msg")
+
+_SERIES_FOR_METRIC = {
+    "updt": "updates",
+    "work": "work",
+    "eread": "edge_reads",
+    "msg": "messages",
+}
+
+
+@dataclass(frozen=True)
+class BehaviorMetrics:
+    """Per-edge-normalized mean metrics of one run (pre corpus scaling)."""
+
+    updt: float
+    work: float
+    eread: float
+    msg: float
+    active_fraction_mean: float
+    n_iterations: int
+
+    def as_array(self) -> np.ndarray:
+        """The 4-D raw behavior values in :data:`METRIC_NAMES` order."""
+        return np.asarray([self.updt, self.work, self.eread, self.msg])
+
+    def __getitem__(self, name: str) -> float:
+        if name not in METRIC_NAMES:
+            raise ValidationError(f"unknown metric {name!r}; "
+                                  f"expected one of {METRIC_NAMES}")
+        return float(getattr(self, name))
+
+
+def compute_metrics(trace: RunTrace) -> BehaviorMetrics:
+    """Compute the per-edge mean behavior metrics of a run."""
+    if trace.n_edges <= 0:
+        raise ValidationError("trace has no edges; metrics are undefined")
+    inv_m = 1.0 / trace.n_edges
+    values = {
+        name: trace.mean(series) * inv_m
+        for name, series in _SERIES_FOR_METRIC.items()
+    }
+    af = trace.active_fraction()
+    return BehaviorMetrics(
+        updt=values["updt"],
+        work=values["work"],
+        eread=values["eread"],
+        msg=values["msg"],
+        active_fraction_mean=float(af.mean()) if af.size else 0.0,
+        n_iterations=trace.n_iterations,
+    )
+
+
+def active_fraction_series(trace: RunTrace) -> np.ndarray:
+    """Per-iteration active fraction (paper Figures 1, 5, 7, 11)."""
+    return trace.active_fraction()
+
+
+def resample_series(series: np.ndarray, n_points: int) -> np.ndarray:
+    """Resample a per-iteration series onto ``n_points`` lifecycle
+    positions (0% .. 100% of the run), for overlaying runs with very
+    different iteration counts as the paper's active-fraction figures do."""
+    if n_points < 2:
+        raise ValidationError("n_points must be >= 2")
+    series = np.asarray(series, dtype=np.float64)
+    if series.size == 0:
+        return np.zeros(n_points)
+    if series.size == 1:
+        return np.full(n_points, series[0])
+    x_old = np.linspace(0.0, 1.0, series.size)
+    x_new = np.linspace(0.0, 1.0, n_points)
+    return np.interp(x_new, x_old, series)

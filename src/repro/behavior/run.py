@@ -1,0 +1,120 @@
+"""High-level run façade: ``run_computation("pagerank", spec)``.
+
+A *graph computation* ``GC = <algorithm, graph size, degree
+distribution>`` (paper Section 5.1) is represented by
+:class:`GraphComputation`; :func:`run_computation` materializes the
+graph, instantiates the vertex program with registry defaults, builds
+the engine with profile-appropriate options, and returns the
+:class:`~repro.behavior.trace.RunTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro._util.errors import ValidationError
+from repro.algorithms.registry import create, info
+from repro.behavior.trace import RunTrace
+from repro.engine.engine import EngineOptions, SynchronousEngine
+from repro.experiments.config import GraphSpec
+from repro.generators.problem import ProblemInstance
+
+
+@dataclass(frozen=True)
+class GraphComputation:
+    """A planned graph computation: algorithm + input spec.
+
+    ``params`` override the algorithm's registry defaults; ``options``
+    override engine options (max_iterations, work_model, ...).
+    """
+
+    algorithm: str
+    spec: GraphSpec
+    params: tuple[tuple[str, Any], ...] = ()
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, algorithm: str, spec: GraphSpec,
+             params: dict[str, Any] | None = None,
+             options: dict[str, Any] | None = None) -> "GraphComputation":
+        return cls(
+            algorithm=algorithm,
+            spec=spec,
+            params=tuple(sorted((params or {}).items())),
+            options=tuple(sorted((options or {}).items())),
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.algorithm}@{self.spec.label}"
+
+    def cache_key(self) -> str:
+        extras = "".join(f"-{k}={v}" for k, v in self.params + self.options)
+        return f"{self.algorithm}-{self.spec.cache_key()}{extras}"
+
+    def run(self) -> RunTrace:
+        return run_computation(self.algorithm, self.spec,
+                               params=dict(self.params),
+                               options=dict(self.options))
+
+
+def build_engine_options(
+    algorithm: str,
+    overrides: dict[str, Any] | None = None,
+) -> EngineOptions:
+    """Merge registry per-algorithm defaults with caller overrides."""
+    record = info(algorithm)
+    merged: dict[str, Any] = dict(record.default_options)
+    merged.update(overrides or {})
+    return EngineOptions(**merged)
+
+
+def run_computation(
+    algorithm: str,
+    spec_or_problem: GraphSpec | ProblemInstance,
+    *,
+    params: dict[str, Any] | None = None,
+    options: dict[str, Any] | None = None,
+) -> RunTrace:
+    """Run one algorithm on one input and return its trace.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (``"pagerank"``, ``"als"``, ...).
+    spec_or_problem:
+        Either a :class:`GraphSpec` (generated on demand) or an
+        already-materialized :class:`ProblemInstance`.
+    params:
+        Algorithm parameter overrides (merged over registry defaults).
+    options:
+        Engine option overrides (merged over registry defaults), e.g.
+        ``{"mode": "reference", "work_model": "measured"}``.
+
+    Raises
+    ------
+    ValidationError
+        If the algorithm's domain does not match the input's domain.
+    ResourceLimitError
+        If the run exceeds the engine memory budget (AD at the largest
+        size under the paper profiles).
+    """
+    record = info(algorithm)
+    if isinstance(spec_or_problem, ProblemInstance):
+        problem = spec_or_problem
+    elif isinstance(spec_or_problem, GraphSpec):
+        problem = spec_or_problem.generate()
+    else:
+        raise ValidationError(
+            f"expected GraphSpec or ProblemInstance, got "
+            f"{type(spec_or_problem).__name__}"
+        )
+    if problem.domain != record.domain:
+        raise ValidationError(
+            f"algorithm {algorithm!r} consumes domain {record.domain!r} "
+            f"inputs but got {problem.domain!r}"
+        )
+    program = create(algorithm, **(params or {}))
+    engine = SynchronousEngine(build_engine_options(algorithm, options))
+    return engine.run(program, problem)

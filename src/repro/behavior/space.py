@@ -1,0 +1,147 @@
+"""The 4-D graph-computation behavior space (paper Section 5.1).
+
+``Behavior(GC) = <UPDT, WORK, EREAD, MSG>`` (Equation 2), where each
+coordinate is the per-edge mean metric normalized corpus-wide so every
+value lies in ``[0, 1]``. Two normalization schemes are provided:
+
+``max`` (paper-literal)
+    Divide each dimension by the corpus maximum.
+``log``
+    ``log10`` first, then min-max per dimension — useful because the
+    raw values span the paper's reported 1000-fold range, which in
+    linear scaling collapses most runs near the origin.
+
+The :class:`BehaviorSpace` fixes the unit hypercube the ensemble
+metrics (spread / coverage) and their upper bounds live in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.behavior.metrics import METRIC_NAMES, BehaviorMetrics
+from repro.generators.rng import make_rng
+
+#: Floor applied before log-scaling (raw metrics of 0 do occur, e.g.
+#: MSG of a program that never signals).
+_LOG_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class BehaviorVector:
+    """One point of the behavior space: a normalized 4-vector + identity."""
+
+    updt: float
+    work: float
+    eread: float
+    msg: float
+    #: Identity of the run this point came from (algorithm, graph params).
+    tag: Any = None
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray([self.updt, self.work, self.eread, self.msg])
+
+    def distance(self, other: "BehaviorVector") -> float:
+        return float(np.linalg.norm(self.as_array() - other.as_array()))
+
+    def __getitem__(self, name: str) -> float:
+        if name not in METRIC_NAMES:
+            raise ValidationError(f"unknown metric {name!r}")
+        return float(getattr(self, name))
+
+
+def normalize_corpus(
+    metrics: Sequence[BehaviorMetrics],
+    *,
+    scheme: str = "max",
+    tags: Sequence[Any] | None = None,
+) -> list[BehaviorVector]:
+    """Normalize a corpus of raw metrics into behavior vectors in [0,1]^4.
+
+    Parameters
+    ----------
+    metrics:
+        Raw per-edge metrics, one per run.
+    scheme:
+        ``"max"`` (divide by corpus max, paper Section 3.4) or ``"log"``
+        (log10 then per-dimension min-max).
+    tags:
+        Optional identities carried onto the vectors (same length).
+    """
+    if scheme not in ("max", "log"):
+        raise ValidationError(f"unknown normalization scheme {scheme!r}")
+    if not metrics:
+        return []
+    if tags is not None and len(tags) != len(metrics):
+        raise ValidationError("tags must align with metrics")
+    raw = np.vstack([m.as_array() for m in metrics])
+    if np.any(raw < 0):
+        raise ValidationError("behavior metrics must be non-negative")
+
+    if scheme == "max":
+        peak = raw.max(axis=0)
+        peak[peak == 0] = 1.0
+        norm = raw / peak
+    else:
+        logs = np.log10(np.maximum(raw, _LOG_FLOOR))
+        lo = logs.min(axis=0)
+        hi = logs.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        norm = (logs - lo) / span
+
+    out = []
+    for i in range(norm.shape[0]):
+        out.append(BehaviorVector(
+            updt=float(norm[i, 0]),
+            work=float(norm[i, 1]),
+            eread=float(norm[i, 2]),
+            msg=float(norm[i, 3]),
+            tag=tags[i] if tags is not None else None,
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class BehaviorSpace:
+    """The unit hypercube behavior vectors live in.
+
+    Attributes
+    ----------
+    dims:
+        Dimensionality (4 for the paper's space).
+    """
+
+    dims: int = 4
+
+    @property
+    def diameter(self) -> float:
+        """Longest distance in the space (corner to corner)."""
+        return float(np.sqrt(self.dims))
+
+    def contains(self, points: np.ndarray, *, tol: float = 1e-9) -> bool:
+        points = np.atleast_2d(points)
+        return bool(np.all(points >= -tol) and np.all(points <= 1 + tol))
+
+    def sample(self, n_samples: int, *, seed: int = 0) -> np.ndarray:
+        """Uniform sample points for the coverage metric (Section 5.1
+        uses 10^6; callers choose their budget)."""
+        if n_samples < 1:
+            raise ValidationError("n_samples must be >= 1")
+        rng = make_rng(seed, "behavior-space", "samples")
+        return rng.random((n_samples, self.dims))
+
+    def to_matrix(self, vectors: Iterable[BehaviorVector]) -> np.ndarray:
+        """Stack behavior vectors into an ``(n, dims)`` matrix."""
+        rows = [v.as_array() for v in vectors]
+        if not rows:
+            return np.empty((0, self.dims))
+        mat = np.vstack(rows)
+        if mat.shape[1] != self.dims:
+            raise ValidationError(
+                f"vectors have {mat.shape[1]} dims, space has {self.dims}"
+            )
+        return mat

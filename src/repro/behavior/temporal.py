@@ -1,0 +1,117 @@
+"""Temporal behavior: per-iteration variability, not just means.
+
+Paper Section 5.1: "Behavior(GCi) has two more dimensions of variation
+— the temporal extent of the computation (iterations), and the spatial
+extent of the graph (vertices). As in Section 4, we will use average
+metric values per iteration over these sample spaces to characterize
+typical values *and variability*."
+
+The 4-D space of Equation 2 keeps only the averages. This module adds
+the variability half: each metric's coefficient of variation (CV)
+across iterations, yielding an extended 8-D behavior vector
+
+``<UPDT, WORK, EREAD, MSG, cv(UPDT), cv(WORK), cv(EREAD), cv(MSG)>``.
+
+Two runs with identical averages can have wildly different temporal
+texture — a steady always-active algorithm vs a bursty phased one —
+and the extended space separates them. The ablation benchmark
+(`benchmarks/test_ablation_temporal.py`) quantifies how much the extra
+dimensions change ensemble design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.behavior.metrics import _SERIES_FOR_METRIC, METRIC_NAMES
+from repro.behavior.trace import RunTrace
+
+#: Dimension names of the extended space, in order.
+TEMPORAL_METRIC_NAMES: tuple[str, ...] = METRIC_NAMES + tuple(
+    f"cv_{m}" for m in METRIC_NAMES)
+
+
+@dataclass(frozen=True)
+class TemporalBehavior:
+    """Mean and coefficient of variation per metric for one run."""
+
+    means: tuple[float, float, float, float]
+    cvs: tuple[float, float, float, float]
+    n_iterations: int
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.means + self.cvs)
+
+    def __getitem__(self, name: str) -> float:
+        if name not in TEMPORAL_METRIC_NAMES:
+            raise ValidationError(f"unknown temporal metric {name!r}")
+        idx = TEMPORAL_METRIC_NAMES.index(name)
+        return float(self.as_array()[idx])
+
+
+def compute_temporal_behavior(trace: RunTrace) -> TemporalBehavior:
+    """Per-edge means plus per-iteration CVs of the four metrics.
+
+    CV is std/mean over iterations (0 for constant series and for
+    all-zero series); it is scale-free, so no further normalization is
+    needed for the CV half of the extended vector.
+    """
+    if trace.n_edges <= 0:
+        raise ValidationError("trace has no edges; metrics are undefined")
+    if trace.n_iterations == 0:
+        raise ValidationError("trace has no iterations")
+    means = []
+    cvs = []
+    inv_m = 1.0 / trace.n_edges
+    for name in METRIC_NAMES:
+        series = trace.series(_SERIES_FOR_METRIC[name]) * inv_m
+        mean = float(series.mean())
+        means.append(mean)
+        cvs.append(float(series.std() / mean) if mean > 0 else 0.0)
+    return TemporalBehavior(means=tuple(means), cvs=tuple(cvs),
+                            n_iterations=trace.n_iterations)
+
+
+def normalize_temporal_corpus(
+    behaviors: Sequence[TemporalBehavior],
+    *,
+    tags: "Sequence[Any] | None" = None,
+    cv_cap: float = 4.0,
+):
+    """Project temporal behaviors into ``[0,1]^8``.
+
+    Means are max-normalized per dimension (as in the 4-D space); CVs
+    are clipped at ``cv_cap`` and scaled by it (CV is already
+    scale-free; capping keeps one pathological run from compressing
+    everyone else).
+
+    Returns plain ``(n, 8)`` coordinates plus the tags — the 8-D space
+    does not reuse :class:`~repro.behavior.space.BehaviorVector`, which
+    is fixed at the paper's four dimensions.
+    """
+    if not behaviors:
+        return np.empty((0, 8)), []
+    if tags is not None and len(tags) != len(behaviors):
+        raise ValidationError("tags must align with behaviors")
+    raw = np.vstack([b.as_array() for b in behaviors])
+    means = raw[:, :4]
+    cvs = raw[:, 4:]
+    peak = means.max(axis=0)
+    peak[peak == 0] = 1.0
+    out = np.hstack([
+        means / peak,
+        np.clip(cvs, 0.0, cv_cap) / cv_cap,
+    ])
+    return out, (list(tags) if tags is not None else [None] * len(behaviors))
+
+
+def temporal_corpus(corpus) -> tuple[np.ndarray, list]:
+    """Extended 8-D coordinates for a
+    :class:`~repro.experiments.corpus.BehaviorCorpus`."""
+    behaviors = [compute_temporal_behavior(r.trace) for r in corpus.runs]
+    return normalize_temporal_corpus(behaviors,
+                                     tags=[r.tag for r in corpus.runs])

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``algorithms``
+    List the registered vertex programs with domain and defaults.
+``run``
+    Run one algorithm on one synthetic graph and print its trace.
+``characterize``
+    Sweep (nedges, α) for one algorithm and print the metric table —
+    the paper's Section-4 methodology for a single algorithm.
+``corpus``
+    Build (or load from cache) the behavior corpus for a profile and
+    print its summary.
+``design``
+    Search the corpus for the best benchmark ensemble under spread or
+    coverage, optionally restricted to chosen algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._util.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph computation behavior characterization and "
+                    "robust benchmark design (Yang & Chien, HPDC 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list registered algorithms")
+
+    run = sub.add_parser("run", help="run one algorithm on one graph")
+    run.add_argument("algorithm")
+    run.add_argument("--nedges", type=int, default=10_000,
+                     help="edge count for ga/clustering/cf/mrf domains")
+    run.add_argument("--alpha", type=float, default=2.5,
+                     help="power-law exponent")
+    run.add_argument("--nrows", type=int, default=100,
+                     help="matrix rows / image side for matrix/grid domains")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--mode", choices=("vectorized", "reference"),
+                     default="vectorized")
+    run.add_argument("--work-model", choices=("unit", "measured"),
+                     default="unit")
+    run.add_argument("--max-iterations", type=int, default=None)
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the full trace as JSON")
+
+    cha = sub.add_parser("characterize",
+                         help="sweep (nedges, α) for one algorithm")
+    cha.add_argument("algorithm")
+    cha.add_argument("--sizes", type=int, nargs="+",
+                     default=[1_000, 3_000, 10_000])
+    cha.add_argument("--alphas", type=float, nargs="+",
+                     default=[2.0, 2.5, 3.0])
+    cha.add_argument("--seed", type=int, default=7)
+
+    cor = sub.add_parser("corpus", help="build the behavior corpus")
+    cor.add_argument("--profile", default=None,
+                     help="profile name (default: $REPRO_PROFILE or smoke)")
+    cor.add_argument("--no-cache", action="store_true")
+    cor.add_argument("--progress", action="store_true")
+    cor.add_argument("--workers", type=int, default=1,
+                     help="worker processes (runs are independent)")
+
+    des = sub.add_parser("design", help="search for the best ensemble")
+    des.add_argument("--profile", default=None)
+    des.add_argument("--size", type=int, default=10)
+    des.add_argument("--metric", choices=("spread", "coverage"),
+                     default="spread")
+    des.add_argument("--algorithms", nargs="+", default=None,
+                     help="restrict the pool to these algorithms")
+    des.add_argument("--scheme", choices=("max", "log"), default="max")
+    des.add_argument("--samples", type=int, default=20_000,
+                     help="coverage sample budget")
+
+    ccz = sub.add_parser(
+        "characterize-corpus",
+        help="full Section-4-style characterization of a built corpus")
+    ccz.add_argument("--profile", default=None)
+    ccz.add_argument("--workers", type=int, default=1)
+
+    rep = sub.add_parser(
+        "report",
+        help="assemble benchmark artifacts into one document")
+    rep.add_argument("--artifacts", default="benchmarks/artifacts",
+                     help="directory of *.txt artifacts")
+    rep.add_argument("--out", default=None,
+                     help="output path (default: stdout)")
+    return parser
+
+
+def _cmd_algorithms(_args) -> int:
+    from repro.algorithms.registry import iter_algorithms
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for rec in iter_algorithms():
+        rows.append((rec.name, rec.abbrev, rec.domain,
+                     "yes" if rec.always_active else "no",
+                     ", ".join(f"{k}={v}" for k, v in
+                               rec.default_params.items()) or "-"))
+    print(format_table(
+        ["name", "paper", "domain", "always active", "default params"],
+        rows, title="Registered algorithms"))
+    return 0
+
+
+def _spec_for(args, domain: str):
+    from repro.experiments.config import GraphSpec
+
+    if domain in ("ga", "clustering", "cf", "mrf"):
+        return GraphSpec.for_domain(domain, nedges=args.nedges,
+                                    alpha=args.alpha, seed=args.seed)
+    return GraphSpec.for_domain(domain, nrows=args.nrows, seed=args.seed)
+
+
+def _cmd_run(args) -> int:
+    from repro.algorithms.registry import info
+    from repro.behavior.metrics import compute_metrics
+    from repro.behavior.run import run_computation
+    from repro.behavior.shapes import classify_activity_shape
+
+    domain = info(args.algorithm).domain
+    options: dict = {"mode": args.mode, "work_model": args.work_model}
+    if args.max_iterations is not None:
+        options["max_iterations"] = args.max_iterations
+    trace = run_computation(args.algorithm, _spec_for(args, domain),
+                            options=options)
+    print(trace.summary())
+    m = compute_metrics(trace)
+    print(f"  behavior: <updt={m.updt:.4g}, work={m.work:.4g}, "
+          f"eread={m.eread:.4g}, msg={m.msg:.4g}>")
+    print(f"  activity shape: {classify_activity_shape(trace).value}")
+    if args.json:
+        trace.to_json(args.json)
+        print(f"  trace written to {args.json}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.algorithms.registry import info
+    from repro.behavior.metrics import METRIC_NAMES, compute_metrics
+    from repro.behavior.run import run_computation
+    from repro.experiments.config import GraphSpec
+    from repro.experiments.reporting import format_table
+
+    domain = info(args.algorithm).domain
+    if domain not in ("ga", "clustering", "cf"):
+        print(f"error: {args.algorithm} has fixed graph structure "
+              f"(domain {domain}); 'characterize' sweeps (nedges, α)",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for nedges in args.sizes:
+        for alpha in args.alphas:
+            spec = GraphSpec.for_domain(domain, nedges=nedges, alpha=alpha,
+                                        seed=args.seed)
+            trace = run_computation(args.algorithm, spec)
+            m = compute_metrics(trace)
+            rows.append((f"{nedges:g}", alpha, trace.n_iterations,
+                         *(m[name] for name in METRIC_NAMES)))
+    print(format_table(["nedges", "α", "iters", *METRIC_NAMES], rows,
+                       title=f"{args.algorithm}: behavior across structures"))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from repro.experiments.corpus import build_corpus
+
+    progress = (lambda line: print(f"  {line}")) if args.progress else None
+    corpus = build_corpus(args.profile, use_cache=not args.no_cache,
+                          progress=progress, workers=args.workers)
+    print(corpus.summary())
+    return 0
+
+
+def _cmd_design(args) -> int:
+    from repro.behavior.space import BehaviorSpace
+    from repro.ensemble.constrained import limit_to_algorithms
+    from repro.ensemble.metrics import coverage, spread
+    from repro.ensemble.search import best_ensemble
+    from repro.experiments.corpus import build_corpus
+
+    corpus = build_corpus(args.profile)
+    vectors = corpus.vectors(scheme=args.scheme)
+    if args.algorithms:
+        vectors = limit_to_algorithms(vectors, args.algorithms)
+    samples = BehaviorSpace().sample(args.samples, seed=0)
+    result = best_ensemble(vectors, args.size, args.metric,
+                           samples=samples[:4000])
+    print(f"best {args.metric} ensemble of size {args.size} "
+          f"(scheme={args.scheme}):")
+    for member in result.ensemble:
+        alg, nedges, alpha = member.tag
+        print(f"  <{alg}, nedges={nedges:g}, α={alpha}>")
+    print(f"spread   = {spread(result.ensemble):.4f}")
+    print(f"coverage = {coverage(result.ensemble, samples=samples):.4f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    root = Path(args.artifacts)
+    if not root.is_dir():
+        print(f"error: no artifact directory {root} — run "
+              f"'pytest benchmarks/ --benchmark-only' first",
+              file=sys.stderr)
+        return 1
+    sections = []
+    for path in sorted(root.glob("*.txt")):
+        body = path.read_text(encoding="utf-8").rstrip()
+        sections.append(f"## {path.stem}\n\n```\n{body}\n```")
+    document = ("# Regenerated paper artifacts\n\n"
+                + "\n\n".join(sections) + "\n")
+    if args.out:
+        Path(args.out).write_text(document, encoding="utf-8")
+        print(f"wrote {args.out} ({len(sections)} artifacts)")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_characterize_corpus(args) -> int:
+    from repro.experiments.characterization import characterize_corpus
+    from repro.experiments.corpus import build_corpus
+
+    corpus = build_corpus(args.profile, workers=args.workers)
+    print(characterize_corpus(corpus).report())
+    return 0
+
+
+_COMMANDS = {
+    "algorithms": _cmd_algorithms,
+    "run": _cmd_run,
+    "characterize": _cmd_characterize,
+    "characterize-corpus": _cmd_characterize_corpus,
+    "corpus": _cmd_corpus,
+    "design": _cmd_design,
+    "report": _cmd_report,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

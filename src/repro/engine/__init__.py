@@ -1,0 +1,38 @@
+"""Synchronous Gather-Apply-Scatter engine with behavior instrumentation.
+
+This is the library's GraphLab-v2.2 stand-in (paper Section 3.1/3.3):
+vertex-centric computation where only *active* vertices run, activation
+travels as signals (messages) emitted during Scatter, and one complete
+Gather → Apply → Scatter sweep over the active set is an *iteration*.
+
+Two drive modes execute the same :class:`~repro.engine.program.VertexProgram`:
+
+- ``vectorized`` — the whole frontier per phase, using CSR segment
+  reductions (production mode);
+- ``reference`` — one vertex at a time with phase barriers (oracle mode,
+  used by the test suite to prove the vectorized path preserves
+  synchronous semantics and produces identical counters).
+"""
+
+from repro.engine.async_engine import AsynchronousEngine, AsyncEngineOptions
+from repro.engine.context import Context
+from repro.engine.edge_centric import EdgeCentricEngine, EdgeCentricOptions
+from repro.engine.engine import EngineOptions, SynchronousEngine
+from repro.engine.graph_centric import GraphCentricEngine, GraphCentricOptions
+from repro.engine.instrumentation import Counters
+from repro.engine.program import Direction, VertexProgram
+
+__all__ = [
+    "AsyncEngineOptions",
+    "AsynchronousEngine",
+    "EdgeCentricEngine",
+    "EdgeCentricOptions",
+    "GraphCentricEngine",
+    "GraphCentricOptions",
+    "Context",
+    "Counters",
+    "Direction",
+    "EngineOptions",
+    "SynchronousEngine",
+    "VertexProgram",
+]

@@ -1,0 +1,332 @@
+"""The synchronous GAS engine.
+
+One iteration (paper Section 3.3):
+
+1. **Gather** — every active vertex collects data through its gather
+   edges; each collected edge is one *edge read*. Contributions are
+   combined per vertex with the program's reduction.
+2. **Apply** — every active vertex updates its value; each update is one
+   *vertex update*, and the phase's cost is the *WORK* metric.
+3. **Scatter** — every applied vertex may send a *signal* (message)
+   along its scatter edges; signaled vertices form the next frontier.
+
+The engine runs the same :class:`~repro.engine.program.VertexProgram`
+in two modes:
+
+``vectorized``
+    All three phases operate on the entire frontier at once using CSR
+    segment kernels (``concat_ranges`` + ``segmented_reduce``). This is
+    the production mode.
+
+``reference``
+    Each phase loops over frontier vertices one at a time, with a
+    barrier between phases (gather-all, then apply-all, then
+    scatter-all) so synchronous semantics are preserved exactly. This is
+    the oracle the test suite compares the vectorized mode against —
+    traces must match counter-for-counter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro._util.errors import ResourceLimitError, ValidationError
+from repro._util.segments import concat_ranges, segmented_reduce
+from repro._util.timing import Stopwatch
+from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.context import Context
+from repro.engine.instrumentation import Counters, WorkModel
+from repro.engine.program import Direction, VertexProgram
+from repro.generators.problem import ProblemInstance
+
+
+@dataclass
+class EngineOptions:
+    """Engine configuration for one run."""
+
+    #: ``"vectorized"`` (production) or ``"reference"`` (oracle).
+    mode: str = "vectorized"
+    #: Hard iteration cap; programs may converge earlier.
+    max_iterations: int = 10_000
+    #: WORK metric production: ``"unit"`` (deterministic) or ``"measured"``.
+    work_model: str = "unit"
+    #: Scale for unit work so magnitudes resemble seconds.
+    unit_scale: float = 1e-9
+    #: Memory budget enforced against graph + program state estimates.
+    memory_budget_bytes: int = 4 << 30
+    #: Extra algorithm parameters forwarded into the Context.
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Seed for the run-scoped RNG (stochastic programs only).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("vectorized", "reference"):
+            raise ValidationError(
+                f"mode must be 'vectorized' or 'reference', got {self.mode!r}"
+            )
+        WorkModel(kind=self.work_model)  # validates
+        if self.max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+
+
+class SynchronousEngine:
+    """Executes one vertex program on one problem instance."""
+
+    def __init__(self, options: EngineOptions | None = None) -> None:
+        self.options = options or EngineOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, program: VertexProgram, problem: ProblemInstance) -> RunTrace:
+        """Run ``program`` to convergence (or the iteration cap).
+
+        Raises
+        ------
+        ResourceLimitError
+            If the graph plus the program's estimated state exceed the
+            configured memory budget (this is the paper's AD-at-largest-
+            size failure mode).
+        """
+        opts = self.options
+        ctx = Context(problem, params=opts.params, seed=opts.seed)
+        graph = problem.graph
+
+        required = graph.memory_bytes() + program.state_bytes(ctx)
+        if required > opts.memory_budget_bytes:
+            raise ResourceLimitError(
+                f"{program.name} on {problem.label} needs ~{required:,} bytes "
+                f"of state, exceeding the budget of "
+                f"{opts.memory_budget_bytes:,} bytes",
+                required_bytes=required,
+                budget_bytes=opts.memory_budget_bytes,
+            )
+
+        started = time.perf_counter()
+        frontier = self._canonical_frontier(program.init(ctx), graph.n_vertices)
+        ctx.drain_extra_work()  # init-phase work is not an iteration's WORK
+
+        trace = RunTrace(
+            algorithm=program.name,
+            graph_params=dict(problem.params),
+            domain=problem.domain,
+            n_vertices=graph.n_vertices,
+            n_edges=graph.n_edges,
+            work_model=opts.work_model,
+        )
+
+        stop_reason = "max-iterations"
+        for iteration in range(opts.max_iterations):
+            if frontier.size == 0:
+                stop_reason = "frontier-empty"
+                trace.converged = True
+                break
+            ctx.iteration = iteration
+            counters, frontier = self._iterate(program, ctx, frontier)
+            trace.iterations.append(IterationRecord(
+                iteration=iteration,
+                active=counters.active,
+                updates=counters.updates,
+                edge_reads=counters.edge_reads,
+                messages=counters.messages,
+                work=counters.work,
+            ))
+            if program.converged(ctx):
+                stop_reason = "converged"
+                trace.converged = True
+                break
+
+        trace.stop_reason = stop_reason
+        trace.result = program.result(ctx)
+        trace.wall_time_s = time.perf_counter() - started
+        return trace
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+    def _iterate(
+        self,
+        program: VertexProgram,
+        ctx: Context,
+        frontier: np.ndarray,
+    ) -> tuple[Counters, np.ndarray]:
+        counters = Counters(active=int(frontier.size))
+        graph = ctx.graph
+
+        # ---- Gather -------------------------------------------------
+        acc: np.ndarray | None = None
+        if program.gather_dir is not Direction.NONE:
+            ptr, idx, eid = self._adjacency(graph, program.gather_dir)
+            if self.options.mode == "vectorized":
+                acc, n_reads = self._gather_vectorized(
+                    program, ctx, frontier, ptr, idx, eid)
+            else:
+                acc, n_reads = self._gather_reference(
+                    program, ctx, frontier, ptr, idx, eid)
+            counters.edge_reads += n_reads
+
+        # ---- Apply --------------------------------------------------
+        counters.updates += int(frontier.size)
+        sw = Stopwatch()
+        with sw:
+            if self.options.mode == "vectorized":
+                program.apply(ctx, frontier, acc)
+            else:
+                for i in range(frontier.size):
+                    row = None
+                    if acc is not None:
+                        row = acc[i:i + 1]
+                    program.apply(ctx, frontier[i:i + 1], row)
+        if self.options.work_model == "measured":
+            counters.work += sw.total
+
+        # ---- Scatter ------------------------------------------------
+        signaled = np.empty(0, dtype=np.int64)
+        if program.scatter_dir is not Direction.NONE:
+            ptr, idx, eid = self._adjacency(graph, program.scatter_dir)
+            if self.options.mode == "vectorized":
+                signaled, n_msgs = self._scatter_vectorized(
+                    program, ctx, frontier, ptr, idx, eid)
+            else:
+                signaled, n_msgs = self._scatter_reference(
+                    program, ctx, frontier, ptr, idx, eid)
+            counters.messages += n_msgs
+
+        program.on_iteration_end(ctx)
+        # Unit work: engine-declared per-vertex cost plus whatever the
+        # program reported via ctx.add_work anywhere in the iteration
+        # (TC's intersections in gather, DD's slave solves in scatter).
+        extra = ctx.drain_extra_work()
+        if self.options.work_model != "measured":
+            unit = program.apply_flops_per_vertex * frontier.size + extra
+            counters.work += unit * self.options.unit_scale
+        nxt = self._canonical_frontier(
+            program.select_next_frontier(ctx, signaled), graph.n_vertices)
+        return counters, nxt
+
+    # ------------------------------------------------------------------
+    # Phase kernels
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _adjacency(graph, direction: Direction):
+        """(ptr, other-endpoint, eid) arrays for a traversal direction."""
+        if direction is Direction.IN:
+            return graph.in_ptr, graph.in_src, graph.in_eid
+        if direction is Direction.OUT:
+            return graph.out_ptr, graph.out_dst, graph.out_eid
+        if direction is Direction.BOTH:
+            if not graph.directed:
+                raise ValidationError(
+                    "Direction.BOTH on an undirected graph would visit "
+                    "every edge twice; use IN or OUT"
+                )
+            raise ValidationError(
+                "Direction.BOTH is not supported; gather twice or "
+                "symmetrize the graph"
+            )
+        raise ValidationError(f"no adjacency for direction {direction}")
+
+    def _gather_vectorized(self, program, ctx, frontier, ptr, idx, eid):
+        starts = ptr[frontier]
+        ends = ptr[frontier + 1]
+        counts = ends - starts
+        slots = concat_ranges(starts, ends)
+        nbr = idx[slots]
+        center = np.repeat(frontier, counts)
+        contributions = program.gather_edge(ctx, nbr, center, eid[slots])
+        contributions = self._check_gather_shape(
+            program, contributions, slots.size)
+        acc = segmented_reduce(contributions, counts, program.gather_op)
+        return acc, int(slots.size)
+
+    def _gather_reference(self, program, ctx, frontier, ptr, idx, eid):
+        width = program.gather_width
+        shape = (frontier.size,) if width == 1 else (frontier.size, width)
+        from repro._util.segments import REDUCE_IDENTITY
+        acc = np.full(shape, REDUCE_IDENTITY[program.gather_op],
+                      dtype=program.gather_dtype)
+        n_reads = 0
+        for i, v in enumerate(frontier.tolist()):
+            s, e = int(ptr[v]), int(ptr[v + 1])
+            if e == s:
+                continue
+            slots = np.arange(s, e)
+            nbr = idx[slots]
+            center = np.full(nbr.size, v, dtype=np.int64)
+            contributions = program.gather_edge(ctx, nbr, center, eid[slots])
+            contributions = self._check_gather_shape(
+                program, contributions, nbr.size)
+            reduced = segmented_reduce(
+                contributions, np.asarray([nbr.size]), program.gather_op)
+            acc[i] = reduced[0]
+            n_reads += nbr.size
+        return acc, n_reads
+
+    def _scatter_vectorized(self, program, ctx, frontier, ptr, idx, eid):
+        starts = ptr[frontier]
+        ends = ptr[frontier + 1]
+        counts = ends - starts
+        slots = concat_ranges(starts, ends)
+        nbr = idx[slots]
+        center = np.repeat(frontier, counts)
+        mask = np.asarray(program.scatter_edges(ctx, center, nbr, eid[slots]),
+                          dtype=bool)
+        if mask.shape != (slots.size,):
+            raise ValidationError(
+                f"{program.name}.scatter_edges returned shape {mask.shape}, "
+                f"expected ({slots.size},)"
+            )
+        signaled = np.unique(nbr[mask])
+        return signaled, int(mask.sum())
+
+    def _scatter_reference(self, program, ctx, frontier, ptr, idx, eid):
+        signaled_parts: list[np.ndarray] = []
+        n_msgs = 0
+        for v in frontier.tolist():
+            s, e = int(ptr[v]), int(ptr[v + 1])
+            if e == s:
+                continue
+            slots = np.arange(s, e)
+            nbr = idx[slots]
+            center = np.full(nbr.size, v, dtype=np.int64)
+            mask = np.asarray(program.scatter_edges(ctx, center, nbr,
+                                                    eid[slots]), dtype=bool)
+            if mask.shape != (nbr.size,):
+                raise ValidationError(
+                    f"{program.name}.scatter_edges returned shape "
+                    f"{mask.shape}, expected ({nbr.size},)"
+                )
+            n_msgs += int(mask.sum())
+            if mask.any():
+                signaled_parts.append(nbr[mask])
+        if signaled_parts:
+            signaled = np.unique(np.concatenate(signaled_parts))
+        else:
+            signaled = np.empty(0, dtype=np.int64)
+        return signaled, n_msgs
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonical_frontier(vids: np.ndarray, n_vertices: int) -> np.ndarray:
+        vids = np.asarray(vids, dtype=np.int64).ravel()
+        if vids.size and (vids.min() < 0 or vids.max() >= n_vertices):
+            raise ValidationError("frontier vertex ids out of range")
+        return np.unique(vids)
+
+    @staticmethod
+    def _check_gather_shape(program, contributions, n_edges_sel):
+        contributions = np.asarray(contributions, dtype=program.gather_dtype)
+        width = program.gather_width
+        expected = (n_edges_sel,) if width == 1 else (n_edges_sel, width)
+        if contributions.shape != expected:
+            raise ValidationError(
+                f"{program.name}.gather_edge returned shape "
+                f"{contributions.shape}, expected {expected}"
+            )
+        return contributions

@@ -1,0 +1,61 @@
+"""Behavior counters for one GAS iteration.
+
+These are the raw observations behind the paper's five metrics
+(Section 3.4):
+
+- ``active`` — active vertices at iteration start (active fraction);
+- ``updates`` — vertex updates, i.e. apply calls (UPDT);
+- ``edge_reads`` — edges whose data was collected in Gather (EREAD);
+- ``messages`` — signals delivered in Scatter (MSG);
+- ``work`` — apply-phase cost (WORK), in seconds under the ``measured``
+  model or abstract units under the deterministic ``unit`` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Counters:
+    """Mutable counter block the engine fills during one iteration."""
+
+    active: int = 0
+    updates: int = 0
+    edge_reads: int = 0
+    messages: int = 0
+    work: float = 0.0
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter block (used by phased algorithms
+        that run sub-sweeps inside one logical iteration)."""
+        self.active = max(self.active, other.active)
+        self.updates += other.updates
+        self.edge_reads += other.edge_reads
+        self.messages += other.messages
+        self.work += other.work
+
+
+@dataclass
+class WorkModel:
+    """How the WORK metric is produced.
+
+    ``measured``
+        Wall-clock time of the apply phase (paper-faithful; used by the
+        benchmark harness).
+    ``unit``
+        Deterministic cost model: ``flops_per_vertex * |apply set| +
+        program-reported extra work`` — bit-reproducible, used by tests
+        and for cross-machine comparability.
+    """
+
+    kind: str = "unit"
+    #: Scale applied to unit work so magnitudes resemble seconds.
+    unit_scale: float = 1e-9
+
+    VALID: tuple = ("measured", "unit")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID:
+            raise ValueError(f"work model must be one of {self.VALID}, "
+                             f"got {self.kind!r}")

@@ -1,0 +1,30 @@
+"""Ensemble analysis: spread, coverage, best-ensemble search, and
+complexity-constrained benchmark design (paper Section 5)."""
+
+from repro.ensemble.bounds import UpperBounds, max_coverage_points, max_spread_points
+from repro.ensemble.constrained import (
+    limit_to_algorithms,
+    limit_to_structures,
+    truncate_trace,
+)
+from repro.ensemble.ensemble import Ensemble
+from repro.ensemble.frequency import algorithm_frequencies
+from repro.ensemble.metrics import coverage, mean_min_distance, spread
+from repro.ensemble.search import best_ensemble, best_ensemble_curve, top_k_ensembles
+
+__all__ = [
+    "Ensemble",
+    "UpperBounds",
+    "algorithm_frequencies",
+    "best_ensemble",
+    "best_ensemble_curve",
+    "coverage",
+    "limit_to_algorithms",
+    "limit_to_structures",
+    "max_coverage_points",
+    "max_spread_points",
+    "mean_min_distance",
+    "spread",
+    "top_k_ensembles",
+    "truncate_trace",
+]

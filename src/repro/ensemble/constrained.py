@@ -1,0 +1,154 @@
+"""Complexity-constrained ensemble design (paper Section 5.6, Figs 22-23).
+
+Three ways to make a benchmark suite cheaper while conserving quality:
+
+- **limited algorithms** — restrict the pool to a few algorithms chosen
+  for diversity contribution (the paper lands on KM, ALS, TC);
+- **limited graphs** — restrict to a few graph structures (the paper
+  finds this *hurts*: spread decays rapidly, coverage drops below even
+  single-algorithm ensembles);
+- **limited runtime** — truncate the runs of algorithms with constant,
+  repetitive behavior (AD, KM, NMF, SGD, SVD all hold active fraction
+  at 1.0), whose behavior metrics are unchanged by shortening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro._util.errors import ValidationError
+from repro.behavior.space import BehaviorVector
+from repro.behavior.trace import RunTrace
+
+#: Algorithms the paper identifies as contributing most to both spread
+#: and coverage (Section 5.6).
+PAPER_LIMITED_ALGORITHMS: tuple[str, ...] = ("kmeans", "als", "triangle")
+
+#: Algorithms with constant, repetitive behavior whose runs can be
+#: shortened (Section 5.6: AD, KM, NMF, SGD, SVD).
+REPETITIVE_ALGORITHMS: tuple[str, ...] = (
+    "diameter", "kmeans", "nmf", "sgd", "svd",
+)
+
+
+def _tag_algorithm(vector: BehaviorVector) -> str:
+    tag = vector.tag
+    if isinstance(tag, (tuple, list)) and tag:
+        return str(tag[0])
+    raise ValidationError(
+        "behavior vector lacks an (algorithm, ...) tag; build vectors "
+        "through BehaviorCorpus.vectors()"
+    )
+
+
+def _tag_structure(vector: BehaviorVector) -> tuple:
+    tag = vector.tag
+    if isinstance(tag, (tuple, list)) and len(tag) >= 2:
+        return tuple(tag[1:])
+    raise ValidationError("behavior vector lacks a graph-structure tag")
+
+
+def limit_to_algorithms(
+    vectors: "list[BehaviorVector]",
+    algorithms: "tuple[str, ...] | list[str]" = PAPER_LIMITED_ALGORITHMS,
+) -> list[BehaviorVector]:
+    """Pool restriction: keep only runs of the given algorithms."""
+    allowed = set(algorithms)
+    kept = [v for v in vectors if _tag_algorithm(v) in allowed]
+    if not kept:
+        raise ValidationError(
+            f"no runs of algorithms {sorted(allowed)} in the pool"
+        )
+    return kept
+
+
+def limit_to_structures(
+    vectors: "list[BehaviorVector]",
+    structures: "list[tuple]",
+) -> list[BehaviorVector]:
+    """Pool restriction: keep only runs on the given graph structures.
+
+    Structures are matched against the tag's ``(size, alpha)`` suffix;
+    the paper's choice is the three largest sizes with α = 2.0.
+    """
+    allowed = {tuple(s) for s in structures}
+    kept = [v for v in vectors if _tag_structure(v) in allowed]
+    if not kept:
+        raise ValidationError(f"no runs on structures {sorted(allowed)}")
+    return kept
+
+
+def select_algorithm_suite(
+    vectors: "list[BehaviorVector]",
+    n_algorithms: int = 3,
+    *,
+    ensemble_size: int = 6,
+    samples=None,
+    n_samples: int = 2_000,
+    seed: int = 0,
+    beam_width: int = 16,
+) -> tuple[str, ...]:
+    """Choose the ``n_algorithms`` whose runs jointly explore best.
+
+    Implements the paper's suite design step (Section 5.6): "we limit
+    ensembles to three algorithms, selecting those that contribute most
+    to *both* spread and coverage". Each candidate algorithm
+    combination is scored by the best spread and best coverage its runs
+    can achieve at ``ensemble_size``, each normalized by the
+    unrestricted optimum; the combination maximizing the summed
+    normalized score wins.
+    """
+    import itertools
+
+    from repro.behavior.space import BehaviorSpace
+    from repro.ensemble.search import best_ensemble
+
+    algorithms = sorted({_tag_algorithm(v) for v in vectors})
+    if n_algorithms < 1 or n_algorithms > len(algorithms):
+        raise ValidationError(
+            f"n_algorithms must be in [1, {len(algorithms)}]"
+        )
+    space = BehaviorSpace()
+    if samples is None:
+        samples = space.sample(n_samples, seed=seed)
+
+    ref = {
+        metric: best_ensemble(vectors, ensemble_size, metric,
+                              samples=samples, beam_width=beam_width).score
+        for metric in ("spread", "coverage")
+    }
+    best_combo: tuple[str, ...] = tuple(algorithms[:n_algorithms])
+    best_score = -float("inf")
+    for combo in itertools.combinations(algorithms, n_algorithms):
+        allowed = set(combo)
+        pool = [v for v in vectors if _tag_algorithm(v) in allowed]
+        if len(pool) < ensemble_size:
+            continue
+        score = 0.0
+        for metric in ("spread", "coverage"):
+            s = best_ensemble(pool, ensemble_size, metric, samples=samples,
+                              beam_width=beam_width).score
+            score += s / max(ref[metric], 1e-12)
+        if score > best_score:
+            best_score, best_combo = score, combo
+    return best_combo
+
+
+def truncate_trace(trace: RunTrace, max_iterations: int) -> RunTrace:
+    """Shorten a run to its first ``max_iterations`` iterations.
+
+    Models the paper's runtime-limited ensembles: for repetitive
+    algorithms the per-iteration behavior is constant, so the truncated
+    trace's mean metrics match the full run's while the benchmarking
+    cost drops proportionally.
+    """
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+    if trace.n_iterations <= max_iterations:
+        return trace
+    return replace(
+        trace,
+        iterations=list(trace.iterations[:max_iterations]),
+        converged=False,
+        stop_reason=f"truncated@{max_iterations}",
+    )

@@ -1,0 +1,67 @@
+"""Algorithm-contribution analysis via top-K ensembles (paper Section 5.5).
+
+"To reliably assess the diversity contribution of an algorithm, we
+would like to minimize shadowing effects ... we expand our
+consideration of the best ensemble of size n to the 100 best ensembles
+of size n ... within the 100 best ensembles, we use the frequency of
+appearance of each algorithm as an indication of contribution to
+diversity." (Figures 20-21.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro._util.errors import ValidationError
+from repro.ensemble.search import SearchResult
+
+
+@dataclass(frozen=True)
+class FrequencyReport:
+    """Per-algorithm appearance statistics over a set of ensembles."""
+
+    metric: str
+    n_ensembles: int
+    #: Fraction of member *slots* occupied by each algorithm.
+    slot_share: dict[str, float]
+    #: Fraction of ensembles *containing* each algorithm at least once.
+    presence: dict[str, float]
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Algorithms by slot share, descending."""
+        return sorted(self.slot_share.items(), key=lambda kv: -kv[1])
+
+    def top_algorithms(self, n: int = 3) -> list[str]:
+        return [name for name, _share in self.ranked()[:n]]
+
+
+def algorithm_frequencies(results: "list[SearchResult]") -> FrequencyReport:
+    """Aggregate algorithm appearance over top-K search results.
+
+    Member tags must carry the run identity as ``(algorithm, ...)`` —
+    which is how :class:`~repro.experiments.corpus.BehaviorCorpus`
+    labels its vectors.
+    """
+    if not results:
+        raise ValidationError("no search results to analyze")
+    slots: Counter[str] = Counter()
+    containing: Counter[str] = Counter()
+    total_slots = 0
+    for res in results:
+        algs = res.ensemble.algorithms()
+        if len(algs) != res.ensemble.size:
+            raise ValidationError(
+                "ensemble members lack (algorithm, ...) tags; build vectors "
+                "through BehaviorCorpus.vectors()"
+            )
+        slots.update(algs)
+        containing.update(set(algs))
+        total_slots += len(algs)
+    metric = results[0].metric
+    return FrequencyReport(
+        metric=metric,
+        n_ensembles=len(results),
+        slot_share={a: c / total_slots for a, c in sorted(slots.items())},
+        presence={a: c / len(results) for a, c in sorted(containing.items())},
+    )

@@ -1,0 +1,366 @@
+"""Best-ensemble search over a corpus of runs (paper Sections 5.2-5.4).
+
+The paper asks, for each ensemble size N: which N of the 215 runs
+maximize spread (or coverage)? Exhaustive enumeration is infeasible
+beyond tiny sizes (C(215, 10) ≈ 10^16), so the search uses a beam over
+index-ordered subsets with O(1)-amortized incremental scoring:
+
+- **spread** — a state carries its pairwise-distance sum; extending by
+  candidate ``j`` adds ``Σ_{i∈state} P[j, i]``, read from a precomputed
+  pairwise matrix;
+- **coverage** — a state carries the per-sample minimum distance to its
+  members; extending by ``j`` takes an elementwise ``min`` with the
+  precomputed candidate-to-sample distance row ``D[j]``.
+
+The best beam state is then refined by swap local search. The same
+machinery returns the top-K ensembles for the paper's shadowing-free
+frequency analysis (Figures 20-21).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial.distance import cdist, squareform, pdist
+
+from repro._util.errors import ValidationError
+from repro.behavior.space import BehaviorSpace, BehaviorVector
+from repro.ensemble.ensemble import Ensemble
+
+VALID_METRICS = ("spread", "coverage")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One discovered ensemble and its score under the search metric."""
+
+    ensemble: Ensemble
+    score: float
+    indices: tuple[int, ...]
+    metric: str
+
+
+class _Evaluator:
+    """Incremental spread/coverage scoring over a fixed candidate pool."""
+
+    def __init__(
+        self,
+        pool: np.ndarray,
+        metric: str,
+        *,
+        space: BehaviorSpace,
+        samples: np.ndarray | None,
+        n_samples: int,
+        seed: int,
+    ) -> None:
+        if metric not in VALID_METRICS:
+            raise ValidationError(f"metric must be one of {VALID_METRICS}")
+        self.metric = metric
+        self.pool = pool
+        self.n = pool.shape[0]
+        self.space = space
+        if metric == "spread":
+            self.P = squareform(pdist(pool)) if self.n > 1 else np.zeros((1, 1))
+            self.D = None
+        else:
+            if samples is None:
+                samples = space.sample(n_samples, seed=seed)
+            self.samples = samples
+            self.D = cdist(pool, samples)  # (n_pool, n_samples)
+            self.P = None
+
+    # -- state = (indices tuple, payload) ------------------------------
+    def initial_state(self, first: int):
+        if self.metric == "spread":
+            return ((first,), 0.0)
+        return ((first,), self.D[first].copy())
+
+    def extend(self, state, j: int):
+        indices, payload = state
+        if self.metric == "spread":
+            add = float(self.P[j, list(indices)].sum())
+            return (indices + (j,), payload + add)
+        return (indices + (j,), np.minimum(payload, self.D[j]))
+
+    def score(self, state) -> float:
+        indices, payload = state
+        k = len(indices)
+        if self.metric == "spread":
+            if k < 2:
+                return 0.0
+            return 2.0 * payload / (k * (k - 1))
+        return self.space.diameter - float(payload.mean())
+
+    def scores_of_extensions(self, state, candidates: np.ndarray) -> np.ndarray:
+        """Vectorized scores of extending ``state`` by each candidate."""
+        indices, payload = state
+        k = len(indices) + 1
+        if self.metric == "spread":
+            adds = self.P[candidates][:, list(indices)].sum(axis=1)
+            sums = payload + adds
+            if k < 2:
+                return np.zeros(candidates.size)
+            return 2.0 * sums / (k * (k - 1))
+        mins = np.minimum(payload[None, :], self.D[candidates])
+        return self.space.diameter - mins.mean(axis=1)
+
+    def score_indices(self, indices) -> float:
+        """Score an arbitrary index set from scratch."""
+        idx = list(indices)
+        if self.metric == "spread":
+            if len(idx) < 2:
+                return 0.0
+            sub = self.P[np.ix_(idx, idx)]
+            return float(sub.sum() / (len(idx) * (len(idx) - 1)))
+        payload = self.D[idx].min(axis=0)
+        return self.space.diameter - float(payload.mean())
+
+
+def _beam_search(ev: _Evaluator, size: int, beam_width: int) -> list[tuple]:
+    """Top states of exactly ``size`` members via index-ordered beam."""
+    states = [ev.initial_state(i) for i in range(ev.n)]
+    if size == 1:
+        return states
+    for _level in range(1, size):
+        scored: list[tuple[float, tuple]] = []
+        for state in states:
+            last = state[0][-1]
+            length = len(state[0])
+            # Feasibility bound: after picking candidate j there must be
+            # enough higher indices left to reach the target size, so
+            # j <= n - size + length.
+            hi = ev.n - size + length + 1
+            candidates = np.arange(last + 1, hi)
+            if candidates.size == 0:
+                continue
+            cand_scores = ev.scores_of_extensions(state, candidates)
+            # Keep only the locally best extensions to bound work.
+            keep = min(beam_width, candidates.size)
+            top = np.argpartition(cand_scores, -keep)[-keep:]
+            for t in top:
+                scored.append((float(cand_scores[t]),
+                               ev.extend(state, int(candidates[t]))))
+        if not scored:
+            raise ValidationError(
+                f"pool of {ev.n} cannot form an ensemble of size {size}"
+            )
+        scored.sort(key=lambda pair: pair[0], reverse=True)
+        states = [state for _score, state in scored[:beam_width]]
+    return states
+
+
+def _swap_refine(ev: _Evaluator, indices: tuple[int, ...],
+                 max_passes: int = 8) -> tuple[tuple[int, ...], float]:
+    """Hill-climb by single-member swaps until no improvement.
+
+    Each position's replacement candidates are scored in one vectorized
+    sweep: for spread via the pairwise matrix, for coverage via a
+    min over the remaining members' sample distances plus the
+    candidate's row.
+    """
+    current = list(indices)
+    best_score = ev.score_indices(current)
+    k = len(current)
+    for _ in range(max_passes):
+        improved = False
+        for pos in range(k):
+            others = [current[i] for i in range(k) if i != pos]
+            if ev.metric == "spread":
+                if k < 2:
+                    break
+                base = float(ev.P[np.ix_(others, others)].sum()) / 2.0
+                adds = ev.P[:, others].sum(axis=1)
+                scores = 2.0 * (base + adds) / (k * (k - 1))
+            else:
+                payload = (ev.D[others].min(axis=0) if others
+                           else np.full(ev.D.shape[1], np.inf))
+                mins = np.minimum(payload[None, :], ev.D)
+                scores = ev.space.diameter - mins.mean(axis=1)
+            scores[current] = -np.inf  # keep members distinct
+            j = int(np.argmax(scores))
+            if scores[j] > best_score + 1e-12:
+                current[pos] = j
+                best_score = float(scores[j])
+                improved = True
+        if not improved:
+            break
+    return tuple(sorted(current)), best_score
+
+
+def _make_evaluator(pool, metric, space, samples, n_samples, seed):
+    space = space or BehaviorSpace()
+    if isinstance(pool, Ensemble):
+        vectors = list(pool.members)
+    else:
+        vectors = list(pool)
+    mat = space.to_matrix(vectors)
+    ev = _Evaluator(mat, metric, space=space, samples=samples,
+                    n_samples=n_samples, seed=seed)
+    return ev, vectors, space
+
+
+def best_ensemble(
+    pool: "Ensemble | list[BehaviorVector]",
+    size: int,
+    metric: str = "spread",
+    *,
+    space: BehaviorSpace | None = None,
+    samples: np.ndarray | None = None,
+    n_samples: int = 4_000,
+    seed: int = 0,
+    beam_width: int = 64,
+    refine: bool = True,
+) -> SearchResult:
+    """Find the (approximately) best size-``size`` ensemble in the pool.
+
+    ``n_samples`` is the coverage search budget; re-score the result
+    with :func:`repro.ensemble.metrics.coverage` at full budget for
+    reporting.
+    """
+    if size < 1:
+        raise ValidationError("size must be >= 1")
+    ev, vectors, space = _make_evaluator(pool, metric, space, samples,
+                                         n_samples, seed)
+    if size > ev.n:
+        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
+    states = _beam_search(ev, size, beam_width)
+    best_state = max(states, key=ev.score)
+    indices = best_state[0]
+    score = ev.score(best_state)
+    if refine:
+        indices, score = _swap_refine(ev, indices)
+    members = tuple(vectors[i] for i in indices)
+    return SearchResult(
+        ensemble=Ensemble(members=members,
+                          name=f"best-{metric}-{size}"),
+        score=float(score),
+        indices=tuple(indices),
+        metric=metric,
+    )
+
+
+def top_k_ensembles(
+    pool: "Ensemble | list[BehaviorVector]",
+    size: int,
+    metric: str = "spread",
+    *,
+    k: int = 100,
+    space: BehaviorSpace | None = None,
+    samples: np.ndarray | None = None,
+    n_samples: int = 2_000,
+    seed: int = 0,
+    beam_width: int = 400,
+) -> list[SearchResult]:
+    """The ``k`` best size-``size`` ensembles found by a wide beam.
+
+    Used for the paper's shadowing analysis (Section 5.5): within the
+    100 best ensembles, the frequency of appearance of each algorithm
+    indicates its contribution to diversity.
+    """
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    ev, vectors, space = _make_evaluator(pool, metric, space, samples,
+                                         n_samples, seed)
+    if size > ev.n:
+        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
+    states = _beam_search(ev, size, max(beam_width, k))
+    scored = [(ev.score(s), s[0]) for s in states]
+    top = heapq.nlargest(k, scored, key=lambda pair: pair[0])
+    results = []
+    for score, indices in top:
+        members = tuple(vectors[i] for i in indices)
+        results.append(SearchResult(
+            ensemble=Ensemble(members=members, name=f"top-{metric}-{size}"),
+            score=float(score),
+            indices=tuple(indices),
+            metric=metric,
+        ))
+    return results
+
+
+def best_ensemble_curve(
+    pool: "Ensemble | list[BehaviorVector]",
+    sizes: "list[int] | tuple[int, ...]",
+    metric: str = "spread",
+    **kwargs,
+) -> dict[int, SearchResult]:
+    """Best ensembles across a range of sizes (the Figs 14-19 curves)."""
+    return {int(size): best_ensemble(pool, int(size), metric, **kwargs)
+            for size in sizes}
+
+
+def best_subset(
+    points: np.ndarray,
+    size: int,
+    metric: str = "spread",
+    *,
+    space: BehaviorSpace | None = None,
+    samples: np.ndarray | None = None,
+    n_samples: int = 4_000,
+    seed: int = 0,
+    beam_width: int = 64,
+    refine: bool = True,
+) -> tuple[tuple[int, ...], float]:
+    """Dimension-agnostic best-subset search over raw coordinates.
+
+    Like :func:`best_ensemble` but over an ``(n, d)`` point matrix in a
+    ``d``-dimensional unit hypercube (the extended temporal space, or
+    any user-defined space). Returns ``(indices, score)``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if size < 1:
+        raise ValidationError("size must be >= 1")
+    if size > points.shape[0]:
+        raise ValidationError(
+            f"cannot pick {size} of {points.shape[0]} points")
+    space = space or BehaviorSpace(dims=points.shape[1])
+    if space.dims != points.shape[1]:
+        raise ValidationError(
+            f"points have {points.shape[1]} dims, space has {space.dims}")
+    ev = _Evaluator(points, metric, space=space, samples=samples,
+                    n_samples=n_samples, seed=seed)
+    states = _beam_search(ev, size, beam_width)
+    best_state = max(states, key=ev.score)
+    indices, score = best_state[0], ev.score(best_state)
+    if refine:
+        indices, score = _swap_refine(ev, indices)
+    return tuple(indices), float(score)
+
+
+def exhaustive_best(
+    pool: "Ensemble | list[BehaviorVector]",
+    size: int,
+    metric: str = "spread",
+    *,
+    space: BehaviorSpace | None = None,
+    samples: np.ndarray | None = None,
+    n_samples: int = 2_000,
+    seed: int = 0,
+    limit: int = 500_000,
+) -> SearchResult:
+    """Exact search by enumeration; refuses when C(n, size) exceeds
+    ``limit``. Used by tests to validate the beam search."""
+    ev, vectors, space = _make_evaluator(pool, metric, space, samples,
+                                         n_samples, seed)
+    import math
+    total = math.comb(ev.n, size)
+    if total > limit:
+        raise ValidationError(
+            f"C({ev.n}, {size}) = {total} exceeds the exhaustive limit {limit}"
+        )
+    best_indices: tuple[int, ...] | None = None
+    best_score = -np.inf
+    for combo in itertools.combinations(range(ev.n), size):
+        s = ev.score_indices(combo)
+        if s > best_score:
+            best_score, best_indices = s, combo
+    members = tuple(vectors[i] for i in best_indices)
+    return SearchResult(
+        ensemble=Ensemble(members=members, name=f"exact-{metric}-{size}"),
+        score=float(best_score),
+        indices=best_indices,
+        metric=metric,
+    )

@@ -1,0 +1,116 @@
+"""Whole-corpus characterization reports.
+
+One call summarizes everything Section 4 of the paper establishes for
+a corpus: per-algorithm activity shapes, metric tables with
+α/size-correlation signs, the per-dimension extremes and fold ranges
+(contribution 1's "1000-fold variation"), and the run-failure ledger.
+Used by the ``characterize-corpus`` CLI command and available as a
+library entry point for notebooks/pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.metrics import METRIC_NAMES
+from repro.behavior.shapes import ActivityShape, shape_profile
+from repro.experiments.corpus import BehaviorCorpus
+from repro.experiments.reporting import correlation_sign, format_table
+
+
+@dataclass(frozen=True)
+class AlgorithmCharacterization:
+    """Per-algorithm summary over its corpus runs."""
+
+    algorithm: str
+    n_runs: int
+    shape: ActivityShape
+    iteration_range: tuple[int, int]
+    #: Mean per-edge metric values over the algorithm's runs.
+    mean_metrics: tuple[float, float, float, float]
+    #: Correlation sign of each metric vs α ("+", "-", "0").
+    alpha_signs: tuple[str, str, str, str]
+    #: Correlation sign of each metric vs log10(size).
+    size_signs: tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class CorpusCharacterization:
+    """The full Section-4-style characterization of a corpus."""
+
+    profile_name: str
+    n_runs: int
+    n_failures: int
+    algorithms: tuple[AlgorithmCharacterization, ...]
+    #: Per-metric (min, max, fold) over per-algorithm means.
+    dimension_ranges: dict[str, tuple[float, float, float]]
+
+    def report(self) -> str:
+        """Render the characterization as text tables."""
+        rows = []
+        for a in self.algorithms:
+            rows.append((
+                a.algorithm, a.n_runs, a.shape.value,
+                f"{a.iteration_range[0]}..{a.iteration_range[1]}",
+                *(f"{v:.3g}" for v in a.mean_metrics),
+                "".join(a.alpha_signs),
+                "".join(a.size_signs),
+            ))
+        table = format_table(
+            ["algorithm", "runs", "activity shape", "iters",
+             *METRIC_NAMES, "corr(α)", "corr(size)"],
+            rows,
+            title=(f"Corpus characterization [{self.profile_name}]: "
+                   f"{self.n_runs} runs, {self.n_failures} failed"),
+        )
+        fold_rows = [(m, lo, hi, f"{fold:.0f}x")
+                     for m, (lo, hi, fold) in self.dimension_ranges.items()]
+        folds = format_table(
+            ["metric", "min (per-alg mean)", "max", "fold range"],
+            fold_rows, title="Behavior dimension ranges (contribution 1)")
+        return table + "\n\n" + folds
+
+
+def characterize_corpus(corpus: BehaviorCorpus) -> CorpusCharacterization:
+    """Compute the full characterization of a built corpus."""
+    shapes = shape_profile([r.trace for r in corpus.runs])
+    algo_rows: list[AlgorithmCharacterization] = []
+    per_alg_means: dict[str, np.ndarray] = {}
+    for algorithm in corpus.algorithms():
+        runs = corpus.by_algorithm(algorithm)
+        mat = np.vstack([r.metrics.as_array() for r in runs])
+        alphas = [r.spec.alpha for r in runs]
+        sizes = [np.log10(r.spec.nedges) for r in runs]
+        iters = [r.trace.n_iterations for r in runs]
+        alpha_signs = tuple(
+            correlation_sign(alphas, mat[:, i]) for i in range(4))
+        size_signs = tuple(
+            correlation_sign(sizes, mat[:, i]) for i in range(4))
+        means = mat.mean(axis=0)
+        per_alg_means[algorithm] = means
+        algo_rows.append(AlgorithmCharacterization(
+            algorithm=algorithm,
+            n_runs=len(runs),
+            shape=shapes[algorithm],
+            iteration_range=(min(iters), max(iters)),
+            mean_metrics=tuple(float(v) for v in means),
+            alpha_signs=alpha_signs,
+            size_signs=size_signs,
+        ))
+
+    stacked = np.vstack(list(per_alg_means.values()))
+    ranges = {}
+    for i, metric in enumerate(METRIC_NAMES):
+        lo = float(stacked[:, i].min())
+        hi = float(stacked[:, i].max())
+        ranges[metric] = (lo, hi, hi / max(lo, 1e-15))
+
+    return CorpusCharacterization(
+        profile_name=corpus.profile.name,
+        n_runs=corpus.n_runs,
+        n_failures=len(corpus.failures),
+        algorithms=tuple(algo_rows),
+        dimension_ranges=ranges,
+    )

@@ -1,0 +1,211 @@
+"""The behavior corpus: every run of the experiment matrix, executed,
+cached, and projected into the behavior space.
+
+Paper Section 5.2: "for eleven algorithms, we have a total of 215 runs
+over 11 algorithms from across three application domains ...
+Unfortunately, 5 runs of AD with largest graph size failed." The
+corpus reproduces exactly that shape: 11 × 20 planned runs with AD's
+largest-size runs failing on the engine memory budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro._util.errors import ResourceLimitError
+from repro.behavior.metrics import BehaviorMetrics, compute_metrics
+from repro.behavior.run import run_computation
+from repro.behavior.space import BehaviorVector, normalize_corpus
+from repro.behavior.trace import RunTrace
+from repro.experiments.config import (
+    ExperimentMatrix,
+    GraphSpec,
+    PlannedRun,
+    Profile,
+    get_profile,
+)
+from repro.experiments.results import ResultStore
+
+
+@dataclass
+class CorpusRun:
+    """One executed (or failed) cell of the corpus."""
+
+    algorithm: str
+    spec: GraphSpec
+    trace: "RunTrace | None"
+    metrics: "BehaviorMetrics | None"
+    failure: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.trace is not None
+
+    @property
+    def tag(self) -> tuple:
+        """Run identity carried onto behavior vectors:
+        ``(algorithm, nedges, alpha)``."""
+        return (self.algorithm, self.spec.nedges, self.spec.alpha)
+
+
+@dataclass
+class BehaviorCorpus:
+    """All successful runs plus the recorded failures."""
+
+    profile: Profile
+    runs: list[CorpusRun] = field(default_factory=list)
+    failures: list[CorpusRun] = field(default_factory=list)
+    build_seconds: float = 0.0
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    def vectors(self, *, scheme: str = "max") -> list[BehaviorVector]:
+        """Corpus-normalized behavior vectors, tagged with run identity."""
+        metrics = [r.metrics for r in self.runs]
+        tags = [r.tag for r in self.runs]
+        return normalize_corpus(metrics, scheme=scheme, tags=tags)
+
+    def by_algorithm(self, algorithm: str) -> list[CorpusRun]:
+        return [r for r in self.runs if r.algorithm == algorithm]
+
+    def by_structure(self, nedges: int, alpha: float) -> list[CorpusRun]:
+        """Runs sharing one graph structure (size, α) across domains —
+        the paper's single-graph ensembles pair each GA structure with
+        the same-parameter clustering and CF generators."""
+        return [r for r in self.runs
+                if r.spec.nedges == nedges and r.spec.alpha == alpha]
+
+    def algorithms(self) -> list[str]:
+        return sorted({r.algorithm for r in self.runs})
+
+    def structures(self) -> list[tuple]:
+        """Distinct (nedges, alpha) pairs present, GA scale only."""
+        return sorted({(r.spec.nedges, r.spec.alpha) for r in self.runs
+                       if r.spec.domain in ("ga", "clustering")})
+
+    def summary(self) -> str:
+        lines = [
+            f"Behavior corpus [{self.profile.name}]: {self.n_runs} runs, "
+            f"{len(self.failures)} failed, built in {self.build_seconds:.1f}s",
+        ]
+        for alg in self.algorithms():
+            runs = self.by_algorithm(alg)
+            iters = [r.trace.n_iterations for r in runs]
+            lines.append(f"  {alg:<10} {len(runs):>3} runs, "
+                         f"iterations {min(iters)}..{max(iters)}")
+        for fail in self.failures:
+            lines.append(f"  FAILED {fail.algorithm}@{fail.spec.label}: "
+                         f"{fail.failure}")
+        return "\n".join(lines)
+
+
+def execute_planned_run(
+    planned: PlannedRun,
+    profile: Profile,
+    store: "ResultStore | None" = None,
+) -> CorpusRun:
+    """Execute one cell (or fetch it from the store), profile-configured."""
+    options = {"memory_budget_bytes": profile.memory_budget_bytes}
+    params: dict = {}
+    if planned.algorithm == "diameter":
+        params["n_hashes"] = profile.ad_n_hashes
+    key = (f"{profile.name}-{planned.algorithm}-"
+           f"{planned.spec.cache_key()}")
+
+    if store is not None:
+        cached = store.load(key)
+        if cached is not None:
+            return CorpusRun(planned.algorithm, planned.spec, cached,
+                             compute_metrics(cached))
+        reason = store.load_failure(key)
+        if reason is not None:
+            return CorpusRun(planned.algorithm, planned.spec, None, None,
+                             failure=reason)
+
+    try:
+        trace = run_computation(planned.algorithm, planned.spec,
+                                params=params, options=options)
+    except ResourceLimitError as exc:
+        reason = str(exc)
+        if store is not None:
+            store.save_failure(key, reason)
+        return CorpusRun(planned.algorithm, planned.spec, None, None,
+                         failure=reason)
+    if store is not None:
+        store.save(key, trace)
+    return CorpusRun(planned.algorithm, planned.spec, trace,
+                     compute_metrics(trace))
+
+
+def _worker_execute(payload: tuple) -> "CorpusRun":
+    """Module-level worker for process pools (must be picklable)."""
+    planned, profile, store_root = payload
+    store = ResultStore(store_root) if store_root is not None else None
+    return execute_planned_run(planned, profile, store)
+
+
+def build_corpus(
+    profile: "Profile | str | None" = None,
+    *,
+    store: "ResultStore | None" = None,
+    use_cache: bool = True,
+    progress: "Callable[[str], None] | None" = None,
+    workers: int = 1,
+) -> BehaviorCorpus:
+    """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
+
+    Parameters
+    ----------
+    profile:
+        A :class:`Profile`, profile name, or None (``$REPRO_PROFILE``).
+    store:
+        Result cache; defaults to the standard on-disk store when
+        ``use_cache`` is true.
+    progress:
+        Optional callback receiving one line per completed run.
+    workers:
+        Number of worker processes. The 220 runs are independent, so
+        they parallelize embarrassingly; each worker writes through the
+        shared on-disk store (atomic per-key replaces, distinct keys).
+        1 (default) runs inline.
+    """
+    if not isinstance(profile, Profile):
+        profile = get_profile(profile)
+    if store is None and use_cache:
+        store = ResultStore()
+    matrix = ExperimentMatrix(profile)
+    corpus = BehaviorCorpus(profile=profile)
+    started = time.perf_counter()
+    plan = matrix.corpus_runs()
+
+    if workers <= 1:
+        results = (execute_planned_run(planned, profile, store)
+                   for planned in plan)
+    else:
+        import concurrent.futures
+
+        store_root = store.root if store is not None else None
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers)
+        payloads = [(planned, profile, store_root) for planned in plan]
+        results = executor.map(_worker_execute, payloads)
+
+    try:
+        for planned, run in zip(plan, results):
+            if run.ok:
+                corpus.runs.append(run)
+            else:
+                corpus.failures.append(run)
+            if progress is not None:
+                status = "ok" if run.ok else "FAILED"
+                progress(f"{planned.algorithm}@{planned.spec.label}: "
+                         f"{status}")
+    finally:
+        if workers > 1:
+            executor.shutdown()
+    corpus.build_seconds = time.perf_counter() - started
+    return corpus

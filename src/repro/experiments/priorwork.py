@@ -1,0 +1,84 @@
+"""Paper Table 1: the prior comparative graph-processing studies.
+
+The paper motivates its methodology by showing that published
+comparative studies use incomparable, ad-hoc ensembles. This module
+encodes Table 1 as data and — the library-level payoff — models each
+study's benchmark set as an :class:`~repro.ensemble.ensemble.Ensemble`
+drawn from our corpus, so the studies' exploration quality can be
+*scored* with spread and coverage (the analysis the paper's Section 6
+performs qualitatively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Mapping of prior-study algorithm names onto this library's registry.
+STUDY_ALGORITHM_MAP = {
+    "PageRank": "pagerank",
+    "SSSP": "sssp",
+    "WCC": "cc",
+    "K-core": "kcore",
+    "BFS": "sssp",       # unweighted SSSP is BFS
+    "CC": "cc",
+}
+
+
+@dataclass(frozen=True)
+class PriorStudy:
+    """One row of paper Table 1."""
+
+    authors: str
+    systems: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    graphs: tuple[str, ...]
+    conclusion: str
+
+    def mapped_algorithms(self) -> list[str]:
+        """This library's registry names for the study's algorithms
+        (unmappable entries are skipped)."""
+        return [STUDY_ALGORITHM_MAP[a] for a in self.algorithms
+                if a in STUDY_ALGORITHM_MAP]
+
+
+PRIOR_STUDIES: tuple[PriorStudy, ...] = (
+    PriorStudy(
+        authors="M. Han [10]",
+        systems=("Giraph", "GPS", "Mizan", "GraphLab"),
+        algorithms=("PageRank", "SSSP", "WCC", "DMST"),
+        graphs=("soc-LiveJournal", "com-Orkut", "Arabic-2005",
+                "Twitter-2010", "UK-2007-05"),
+        conclusion="Giraph vs GraphLab: relative performance varies, "
+                   "comparable overall",
+    ),
+    PriorStudy(
+        authors="B. Elser [6]",
+        systems=("Map-Reduce", "Stratosphere", "Hama", "Giraph", "GraphLab"),
+        algorithms=("K-core",),
+        graphs=("ca.AstroPh", "ca.CondMat", "Amazon0601", "web-BerkStan",
+                "com.Youtube", "wiki-Talk", "com.Orkut"),
+        conclusion="GraphLab outperforms Giraph on all graph datasets",
+    ),
+    PriorStudy(
+        authors="Y. Guo [9]",
+        systems=("Hadoop", "YARN", "Stratosphere", "Giraph", "GraphLab",
+                 "Neo4j"),
+        algorithms=("Statistic algorithm", "BFS", "CC", "CD", "GE"),
+        graphs=("Amazon", "WikiTalk", "KGS", "Citation", "DotaLeague",
+                "Synth", "Friendster"),
+        conclusion="relative performance varies, no overall conclusion",
+    ),
+)
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """Rows matching the paper's Table 1 layout."""
+    rows = []
+    for s in PRIOR_STUDIES:
+        rows.append((
+            s.authors,
+            ", ".join(s.systems),
+            ", ".join(s.algorithms),
+            ", ".join(s.graphs),
+        ))
+    return rows

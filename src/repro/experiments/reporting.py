@@ -1,0 +1,110 @@
+"""Plain-text reporting: the tables and series the benchmarks print.
+
+Every benchmark regenerates its paper artifact as text — a table of
+rows (Tables 1-3) or labelled series (every figure) — so the paper-vs-
+measured comparison in EXPERIMENTS.md is produced by the same code the
+benchmark suite runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an ASCII table with per-column width fitting."""
+    rows = [[_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode mini-chart of a series (for active-fraction curves)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    scaled = ((arr - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[i] for i in scaled)
+
+
+def format_series(
+    label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    spark: bool = True,
+) -> str:
+    """One labelled series as ``label: x=y`` pairs plus a sparkline."""
+    if len(xs) != len(ys):
+        raise ValidationError("xs and ys must align")
+    pairs = " ".join(f"{x}={_cell(float(y))}" for x, y in zip(xs, ys))
+    tail = f"  {sparkline(ys)}" if spark and ys else ""
+    return f"{label:<28} {pairs}{tail}"
+
+
+def format_curve_block(
+    title: str,
+    series: "dict[str, tuple[Sequence[object], Sequence[float]]]",
+) -> str:
+    """A figure-like block: a title plus one line per labelled series."""
+    lines = [title]
+    for label, (xs, ys) in series.items():
+        lines.append("  " + format_series(label, xs, ys))
+    return "\n".join(lines)
+
+
+def correlation_sign(xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Qualitative correlation label used in trend assertions:
+    ``"+"``, ``"-"``, or ``"0"`` (|pearson r| < 0.3)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValidationError("need two aligned points for a correlation")
+    if np.all(xs == xs[0]) or np.all(ys == ys[0]):
+        return "0"
+    r = float(np.corrcoef(xs, ys)[0, 1])
+    if r > 0.3:
+        return "+"
+    if r < -0.3:
+        return "-"
+    return "0"

@@ -1,0 +1,110 @@
+"""On-disk result store for run traces.
+
+Building the 215-run behavior corpus takes seconds at the smoke profile
+but minutes at the paper profile; every ensemble experiment (Figs 14-23,
+Table 3) consumes the same corpus. The store caches each
+:class:`~repro.behavior.trace.RunTrace` as one JSON file keyed by the
+run's cache key (algorithm, graph spec, seed, parameter overrides), and
+also remembers *failures* (the AD runs that exceed the memory budget)
+so they are not retried.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro._util.errors import ValidationError
+from repro.behavior.trace import RunTrace
+
+#: Environment variable overriding the cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+_FAILED_MARKER = "__failed__"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+class ResultStore:
+    """Directory-backed trace cache.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write). Defaults to
+        ``$REPRO_CACHE_DIR`` or ``./.repro_cache``.
+    """
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_.=" else "_" for c in key)
+        if not safe:
+            raise ValidationError("empty cache key")
+        return self.root / f"{safe}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> "RunTrace | None":
+        """Return the cached trace, or None if absent/corrupt."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get(_FAILED_MARKER):
+            return None
+        try:
+            return RunTrace.from_dict(data)
+        except (TypeError, KeyError, ValidationError):
+            return None
+
+    def save(self, key: str, trace: RunTrace) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(trace.to_json(), encoding="utf-8")
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    def load_failure(self, key: str) -> "str | None":
+        """Return the recorded failure reason for a key, if any."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get(_FAILED_MARKER):
+            return str(data.get("reason", "unknown failure"))
+        return None
+
+    def save_failure(self, key: str, reason: str) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({_FAILED_MARKER: True, "reason": reason}),
+                       encoding="utf-8")
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,38 @@
+"""Synthetic workload generators for every domain in the experiment matrix.
+
+One generator per application domain of the paper (Section 3.2):
+
+- :func:`powerlaw_graph` — scale-free graphs for Graph Analytics and
+  Clustering, parameterized by ``nedges`` and the power-law exponent ``α``;
+- :func:`bipartite_rating_graph` — user-item rating graphs for
+  Collaborative Filtering;
+- :func:`matrix_problem` — diagonally dominant sparse linear systems for
+  Jacobi;
+- :func:`grid_problem` — pixel-lattice denoising problems for Loopy BP;
+- :func:`mrf_problem` — pairwise Markov Random Fields for Dual
+  Decomposition.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.generators.bipartite import bipartite_rating_graph
+from repro.generators.grid import grid_problem
+from repro.generators.matrix import matrix_problem
+from repro.generators.mrf import mrf_problem
+from repro.generators.powerlaw import powerlaw_graph
+from repro.generators.problem import ProblemInstance
+from repro.generators.rng import make_rng, spawn_rngs
+from repro.generators.uniform import erdos_renyi_graph, regular_graph
+
+__all__ = [
+    "ProblemInstance",
+    "bipartite_rating_graph",
+    "erdos_renyi_graph",
+    "grid_problem",
+    "make_rng",
+    "matrix_problem",
+    "mrf_problem",
+    "powerlaw_graph",
+    "regular_graph",
+    "spawn_rngs",
+]

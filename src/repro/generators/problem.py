@@ -1,0 +1,76 @@
+"""Problem instances: a graph plus its domain-specific inputs.
+
+The paper's domains attach different payloads to the same structural
+graph (Section 2.2): Graph Analytics uses bare graphs, Clustering adds
+2-D data points per vertex, Collaborative Filtering adds edge ratings
+and a user/item split, the linear solver adds a right-hand-side vector,
+LBP adds per-pixel priors, and DD carries a full MRF. A
+:class:`ProblemInstance` bundles all of that so vertex programs receive
+one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util.errors import ValidationError
+from repro.graph.csr import Graph
+
+#: Domains recognized by the experiment matrix (paper Table 2).
+DOMAINS = ("ga", "clustering", "cf", "matrix", "grid", "mrf")
+
+
+@dataclass
+class ProblemInstance:
+    """A generated workload: structural graph + domain inputs.
+
+    Attributes
+    ----------
+    graph:
+        The structural graph the GAS engine iterates over.
+    domain:
+        One of :data:`DOMAINS`.
+    inputs:
+        Domain payload, e.g. ``{"points": (n, 2) array}`` for
+        clustering or ``{"b": (n,) array, "diag": (n,) array}`` for the
+        linear solver. Keys are documented by each generator.
+    params:
+        The generator parameters that produced this instance (nedges,
+        alpha, nrows, seed, ...), for provenance and cache keys.
+    """
+
+    graph: Graph
+    domain: str
+    inputs: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.domain not in DOMAINS:
+            raise ValidationError(
+                f"unknown domain {self.domain!r}; expected one of {DOMAINS}"
+            )
+
+    def require_input(self, key: str) -> Any:
+        """Fetch a domain input, raising a helpful error if missing."""
+        if key not in self.inputs:
+            raise ValidationError(
+                f"problem instance for domain {self.domain!r} lacks input "
+                f"{key!r}; available: {sorted(self.inputs)}"
+            )
+        return self.inputs[key]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity, e.g. ``ga(nedges=1e4, α=2.5)``."""
+        bits = []
+        for key in ("nedges", "alpha", "nrows"):
+            if key in self.params:
+                value = self.params[key]
+                if key == "nedges":
+                    bits.append(f"nedges={value:g}")
+                elif key == "alpha":
+                    bits.append(f"α={value}")
+                else:
+                    bits.append(f"{key}={value}")
+        return f"{self.domain}({', '.join(bits)})"

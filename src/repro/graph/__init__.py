@@ -1,0 +1,27 @@
+"""Graph substrate: immutable CSR graphs, analysis, and file I/O."""
+
+from repro.graph.csr import Graph
+from repro.graph.properties import (
+    GraphSummary,
+    degree_distribution,
+    fit_power_law_alpha,
+    summarize,
+)
+from repro.graph.subgraph import (
+    component_sizes,
+    connected_component_labels,
+    induced_subgraph,
+    largest_component,
+)
+
+__all__ = [
+    "Graph",
+    "GraphSummary",
+    "component_sizes",
+    "connected_component_labels",
+    "degree_distribution",
+    "fit_power_law_alpha",
+    "induced_subgraph",
+    "largest_component",
+    "summarize",
+]

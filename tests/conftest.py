@@ -1,0 +1,71 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Profile
+from repro.experiments.corpus import BehaviorCorpus, build_corpus
+from repro.generators import (
+    bipartite_rating_graph,
+    grid_problem,
+    matrix_problem,
+    mrf_problem,
+    powerlaw_graph,
+)
+
+#: A very small profile so integration tests build a corpus in seconds.
+MINI_PROFILE = Profile(
+    name="mini",
+    ga_sizes=(200, 600, 1_500, 4_000),
+    cf_sizes=(80, 200, 600, 1_500),
+    matrix_rows=(30, 50, 70, 90),
+    grid_sides=(8, 10, 12, 16),
+    mrf_edges=(40, 84, 112, 144),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=5_000,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="session")
+def mini_corpus() -> BehaviorCorpus:
+    """A full 11-algorithm corpus at tiny scale, built once per session."""
+    return build_corpus(MINI_PROFILE, use_cache=False)
+
+
+@pytest.fixture()
+def ga_problem():
+    return powerlaw_graph(800, 2.5, seed=3)
+
+
+@pytest.fixture()
+def clustering_problem():
+    return powerlaw_graph(800, 2.5, seed=3, with_points=True)
+
+
+@pytest.fixture()
+def cf_problem():
+    return bipartite_rating_graph(400, 2.5, seed=3)
+
+
+@pytest.fixture()
+def matrix_problem_small():
+    return matrix_problem(40, seed=3)
+
+
+@pytest.fixture()
+def grid_problem_small():
+    return grid_problem(10, seed=3)
+
+
+@pytest.fixture()
+def mrf_problem_small():
+    return mrf_problem(60, seed=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,184 @@
+"""Correctness tests for K-Means and the Collaborative Filtering programs."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import SynchronousEngine
+from repro.experiments.config import GraphSpec
+from repro.generators import bipartite_rating_graph, powerlaw_graph
+
+
+def run_program(name, problem, params=None, options=None):
+    from repro.algorithms.registry import create
+    from repro.behavior.run import build_engine_options
+
+    program = create(name, **(params or {}))
+    engine = SynchronousEngine(build_engine_options(name, options))
+    return engine.run(program, problem), program
+
+
+@pytest.fixture(scope="module")
+def clustering():
+    return powerlaw_graph(1000, 2.5, seed=13, with_points=True)
+
+
+@pytest.fixture(scope="module")
+def cf():
+    return bipartite_rating_graph(800, 2.5, seed=13)
+
+
+class TestKMeans:
+    def test_inertia_beats_random_assignment(self, clustering):
+        trace, prog = run_program("kmeans", clustering)
+        pts = clustering.inputs["points"]
+        rng = np.random.default_rng(0)
+        rand_assign = rng.integers(0, prog.k, pts.shape[0])
+        rand_centers = np.stack([
+            pts[rand_assign == c].mean(axis=0) if (rand_assign == c).any()
+            else np.zeros(2) for c in range(prog.k)])
+        rand_inertia = ((pts - rand_centers[rand_assign]) ** 2).sum()
+        assert trace.result["inertia"] < rand_inertia
+
+    def test_plain_lloyd_on_separated_blobs(self):
+        # With reward=0 KM is Lloyd's algorithm; on well-separated blobs
+        # it must recover the partition exactly.
+        rng = np.random.default_rng(3)
+        blob_a = rng.normal(0, 0.05, size=(50, 2))
+        blob_b = rng.normal(5, 0.05, size=(50, 2))
+        pts = np.vstack([blob_a, blob_b])
+        prob = powerlaw_graph(150, 2.5, seed=3, with_points=True)
+        # Splice our points in (vertex count must match).
+        n = prob.graph.n_vertices
+        reps = int(np.ceil(n / 100))
+        prob.inputs["points"] = np.tile(pts, (reps, 1))[:n]
+        trace, prog = run_program(
+            "kmeans", prob, params={"k": 2, "reward": 0.0})
+        labels = prog.assignment
+        group_a = labels[np.arange(n) % 100 < 50]
+        group_b = labels[np.arange(n) % 100 >= 50]
+        assert len(set(group_a.tolist())) == 1
+        assert len(set(group_b.tolist())) == 1
+        assert group_a[0] != group_b[0]
+
+    def test_always_fully_active(self, clustering):
+        trace, _ = run_program("kmeans", clustering)
+        np.testing.assert_allclose(trace.active_fraction(), 1.0)
+
+    def test_eread_constant(self, clustering):
+        trace, _ = run_program("kmeans", clustering)
+        reads = trace.series("edge_reads")
+        assert np.all(reads == reads[0])  # paper Fig 6: EREAD constant
+
+    def test_cluster_sizes_sum_to_n(self, clustering):
+        trace, _ = run_program("kmeans", clustering)
+        assert sum(trace.result["cluster_sizes"]) == clustering.graph.n_vertices
+
+    def test_param_validation(self):
+        from repro._util.errors import ValidationError
+        from repro.algorithms.registry import create
+        with pytest.raises(ValidationError):
+            create("kmeans", k=0)
+        with pytest.raises(ValidationError):
+            create("kmeans", reward=-1)
+
+
+class TestALS:
+    def test_rmse_improves_over_init(self, cf):
+        trace, prog = run_program("als", cf)
+        # Initial random factors predict ~0.2·0.2·4 ≈ far from ratings
+        # (mean 3.5): final RMSE must be far below the raw rating std.
+        assert trace.result["rmse"] < 1.0
+
+    def test_sides_alternate_through_activation(self, cf):
+        trace, prog = run_program("als", cf,
+                                  options={"max_iterations": 4})
+        # Iteration 0 is users only.
+        n_users = cf.inputs["n_users"]
+        assert trace.iterations[0].active <= n_users
+
+    def test_frontier_drains(self, cf):
+        trace, _ = run_program("als", cf)
+        assert trace.converged
+        af = trace.active_fraction()
+        assert af[-1] < af.max()
+
+    def test_requires_weighted_graph(self):
+        prob = powerlaw_graph(200, 2.5, seed=1)
+        prob.domain = "cf"
+        prob.inputs["is_user"] = np.ones(prob.graph.n_vertices, dtype=bool)
+        from repro._util.errors import ValidationError
+        with pytest.raises(ValidationError):
+            run_program("als", prob)
+
+
+class TestNMF:
+    def test_factors_stay_nonnegative(self, cf):
+        _trace, prog = run_program("nmf", cf)
+        assert prog.factors.min() >= 0
+
+    def test_capped_at_20_iterations(self, cf):
+        trace, _ = run_program("nmf", cf)
+        assert trace.n_iterations == 20
+        assert trace.stop_reason == "max-iterations"
+
+    def test_rmse_improves(self, cf):
+        short, _ = run_program("nmf", cf, options={"max_iterations": 1})
+        full, _ = run_program("nmf", cf)
+        assert full.result["rmse"] < short.result["rmse"]
+
+    def test_always_fully_active(self, cf):
+        trace, _ = run_program("nmf", cf)
+        np.testing.assert_allclose(trace.active_fraction(), 1.0)
+
+    def test_messages_one_direction_per_iteration(self, cf):
+        trace, _ = run_program("nmf", cf)
+        m = cf.graph.n_edges
+        assert all(rec.messages == m for rec in trace.iterations)
+
+
+class TestSGD:
+    def test_rmse_improves(self, cf):
+        short, _ = run_program("sgd", cf, options={"max_iterations": 1})
+        full, _ = run_program("sgd", cf)
+        assert full.result["rmse"] < short.result["rmse"]
+
+    def test_max_messages(self, cf):
+        # SGD pushes a gradient both ways on every edge, every iteration
+        # — the paper's maximum-MSG algorithm.
+        trace, _ = run_program("sgd", cf)
+        m = cf.graph.n_edges
+        assert all(rec.messages == 2 * m for rec in trace.iterations)
+
+    def test_capped_at_20(self, cf):
+        trace, _ = run_program("sgd", cf)
+        assert trace.n_iterations == 20
+
+
+class TestSVD:
+    def test_top_singular_value_matches_dense(self, cf):
+        trace, _ = run_program("svd", cf)
+        # Dense oracle.
+        n_users = cf.inputs["n_users"]
+        src, dst = cf.graph.edge_endpoints()
+        users = np.minimum(src, dst)
+        items = np.maximum(src, dst) - n_users
+        A = np.zeros((n_users, cf.inputs["n_items"]))
+        A[users, items] = cf.graph.edge_weight
+        sigma = np.linalg.svd(A, compute_uv=False)
+        assert trace.result["top_singular_value"] == pytest.approx(
+            sigma[0], rel=0.02)
+
+    def test_leading_values_ordered(self, cf):
+        trace, _ = run_program("svd", cf)
+        sv = trace.result["singular_values"]
+        assert all(a >= b - 1e-9 for a, b in zip(sv, sv[1:]))
+
+    def test_iterations_equals_restarts_times_steps(self, cf):
+        trace, _ = run_program(
+            "svd", cf, params={"lanczos_steps": 5, "restarts": 3})
+        assert trace.n_iterations == 2 * 5 * 3
+        assert trace.converged
+
+    def test_always_fully_active(self, cf):
+        trace, _ = run_program("svd", cf)
+        np.testing.assert_allclose(trace.active_fraction(), 1.0)

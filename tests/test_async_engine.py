@@ -1,0 +1,130 @@
+"""Tests for the asynchronous GAS engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.algorithms.registry import create
+from repro.engine.async_engine import AsynchronousEngine, AsyncEngineOptions
+from repro.engine.engine import SynchronousEngine
+from repro.behavior.run import build_engine_options
+from repro.generators import powerlaw_graph
+
+
+def run_async(name, problem, scheduler="fifo", **params):
+    program = create(name, **params)
+    engine = AsynchronousEngine(AsyncEngineOptions(scheduler=scheduler))
+    return engine.run(program, problem), program
+
+
+def run_sync(name, problem, **params):
+    program = create(name, **params)
+    engine = SynchronousEngine(build_engine_options(name))
+    return engine.run(program, problem), program
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return powerlaw_graph(1_200, 2.5, seed=31)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheduler", ["fifo", "priority"])
+    def test_cc_matches_sync(self, problem, scheduler):
+        async_trace, async_prog = run_async("cc", problem,
+                                            scheduler=scheduler)
+        _sync_trace, sync_prog = run_sync("cc", problem)
+        assert async_trace.converged
+        np.testing.assert_array_equal(async_prog.component,
+                                      sync_prog.component)
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "priority"])
+    def test_sssp_matches_sync(self, problem, scheduler):
+        async_trace, async_prog = run_async("sssp", problem,
+                                            scheduler=scheduler)
+        _sync_trace, sync_prog = run_sync("sssp", problem)
+        assert async_trace.converged
+        np.testing.assert_array_equal(async_prog.dist, sync_prog.dist)
+
+    def test_sssp_matches_networkx(self, problem):
+        trace, prog = run_async("sssp", problem, scheduler="priority")
+        src, dst = problem.graph.edge_endpoints()
+        G = nx.Graph()
+        G.add_nodes_from(range(problem.graph.n_vertices))
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.single_source_shortest_path_length(
+            G, trace.result["source"])
+        for v, d in expected.items():
+            assert prog.dist[v] == d
+
+    def test_pagerank_close_to_sync(self, problem):
+        _async_trace, async_prog = run_async("pagerank", problem,
+                                             tol=1e-6)
+        _sync_trace, sync_prog = run_sync("pagerank", problem,
+                                          tol=1e-6)
+        a = async_prog.rank / async_prog.rank.sum()
+        b = sync_prog.rank / sync_prog.rank.sum()
+        assert np.corrcoef(a, b)[0, 1] > 0.999
+
+
+class TestSemantics:
+    def test_deterministic(self, problem):
+        a, _p1 = run_async("cc", problem)
+        b, _p2 = run_async("cc", problem)
+        assert a.to_dict()["iterations"] == b.to_dict()["iterations"]
+
+    def test_rejects_non_async_program(self, problem):
+        with pytest.raises(ValidationError):
+            run_async("diameter", problem)
+
+    def test_rounds_bounded_by_vertex_count(self, problem):
+        trace, _prog = run_async("cc", problem)
+        n = problem.graph.n_vertices
+        assert all(rec.active <= n for rec in trace.iterations)
+        assert trace.stop_reason == "scheduler-drained"
+
+    def test_max_steps_cap(self, problem):
+        program = create("pagerank", tol=1e-12)
+        engine = AsynchronousEngine(AsyncEngineOptions(max_steps=50))
+        trace = engine.run(program, problem)
+        assert sum(rec.updates for rec in trace.iterations) == 50
+        assert not trace.converged
+
+    def test_counters_positive(self, problem):
+        trace, _prog = run_async("sssp", problem)
+        assert sum(r.edge_reads for r in trace.iterations) > 0
+        assert sum(r.messages for r in trace.iterations) > 0
+        assert all(r.work >= 0 for r in trace.iterations)
+
+    def test_options_validation(self):
+        with pytest.raises(ValidationError):
+            AsyncEngineOptions(scheduler="random")
+        with pytest.raises(ValidationError):
+            AsyncEngineOptions(max_steps=0)
+        with pytest.raises(ValidationError):
+            AsyncEngineOptions(work_model="guess")
+
+
+class TestPrioritySchedulingEffect:
+    def test_priority_reduces_sssp_updates(self, problem):
+        """Dijkstra-like ordering should waste fewer relaxations than
+        FIFO (allow equality on easy instances)."""
+        fifo, _ = run_async("sssp", problem, scheduler="fifo")
+        prio, _ = run_async("sssp", problem, scheduler="priority")
+        fifo_updates = sum(r.updates for r in fifo.iterations)
+        prio_updates = sum(r.updates for r in prio.iterations)
+        assert prio_updates <= fifo_updates
+
+    def test_priority_scheduler_promotion(self):
+        from repro.engine.async_engine import _PriorityScheduler
+
+        sched = _PriorityScheduler(4)
+        sched.push(1, priority=1.0)
+        sched.push(2, priority=5.0)
+        sched.push(1, priority=9.0)  # promotion
+        assert len(sched) == 2
+        assert sched.pop() == 1
+        assert sched.pop() == 2
+        with pytest.raises(IndexError):
+            sched.pop()

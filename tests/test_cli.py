@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestAlgorithms:
+    def test_lists_all(self, capsys):
+        code, out, _err = run_cli(capsys, "algorithms")
+        assert code == 0
+        for name in ("pagerank", "als", "dd", "kmeans"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_pagerank(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "pagerank", "--nedges", "500", "--alpha", "2.5")
+        assert code == 0
+        assert "pagerank@ga" in out
+        assert "behavior:" in out
+        assert "activity shape:" in out
+
+    def test_run_fixed_structure_domain(self, capsys):
+        code, out, _err = run_cli(capsys, "run", "jacobi", "--nrows", "30")
+        assert code == 0
+        assert "jacobi@matrix" in out
+
+    def test_run_reference_mode(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "cc", "--nedges", "200", "--mode", "reference")
+        assert code == 0
+
+    def test_run_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code, out, _err = run_cli(
+            capsys, "run", "sssp", "--nedges", "300", "--json", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["algorithm"] == "sssp"
+
+    def test_unknown_algorithm_fails_cleanly(self, capsys):
+        code, _out, err = run_cli(capsys, "run", "quantumrank")
+        assert code == 1
+        assert "unknown algorithm" in err
+
+    def test_max_iterations_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "kmeans", "--nedges", "400",
+            "--max-iterations", "3")
+        assert code == 0
+        assert "iterations=3" in out
+
+
+class TestCharacterize:
+    def test_table(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "characterize", "cc",
+            "--sizes", "300", "600", "--alphas", "2.0", "3.0")
+        assert code == 0
+        assert "behavior across structures" in out
+        assert out.count("\n") > 4
+
+    def test_rejects_fixed_structure(self, capsys):
+        code, _out, err = run_cli(capsys, "characterize", "jacobi")
+        assert code == 2
+        assert "fixed graph structure" in err
+
+
+class TestReport:
+    def test_assembles_artifacts(self, capsys, tmp_path):
+        (tmp_path / "fig01.txt").write_text("series A\n")
+        (tmp_path / "table2.txt").write_text("rows\n")
+        out_file = tmp_path / "report.md"
+        code, out, _err = run_cli(
+            capsys, "report", "--artifacts", str(tmp_path),
+            "--out", str(out_file))
+        assert code == 0
+        text = out_file.read_text()
+        assert "## fig01" in text and "series A" in text
+        assert "## table2" in text
+
+    def test_stdout_mode(self, capsys, tmp_path):
+        (tmp_path / "x.txt").write_text("hello\n")
+        code, out, _err = run_cli(capsys, "report", "--artifacts",
+                                  str(tmp_path))
+        assert code == 0
+        assert "hello" in out
+
+    def test_missing_directory(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "report", "--artifacts", str(tmp_path / "nope"))
+        assert code == 1
+        assert "no artifact directory" in err
+
+
+class TestCorpusAndDesign:
+    @pytest.fixture()
+    def tiny_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        return tmp_path
+
+    def test_design_on_smoke_subset(self, capsys, tiny_cache, monkeypatch):
+        # Keep this cheap: design over two algorithms only; the corpus
+        # itself is built at the smoke profile through the cache.
+        code, out, _err = run_cli(
+            capsys, "design", "--size", "4", "--metric", "spread",
+            "--algorithms", "triangle", "sssp", "--samples", "2000")
+        assert code == 0
+        assert "best spread ensemble of size 4" in out
+        assert "spread   =" in out

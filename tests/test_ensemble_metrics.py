@@ -1,0 +1,149 @@
+"""Tests for the spread and coverage ensemble metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.errors import ValidationError
+from repro.behavior.space import BehaviorSpace, BehaviorVector
+from repro.ensemble.ensemble import Ensemble
+from repro.ensemble.metrics import coverage, mean_min_distance, spread
+
+
+def vec(*coords, tag=None):
+    return BehaviorVector(*coords, tag=tag)
+
+
+def ens(*points):
+    return Ensemble.of([vec(*p) for p in points])
+
+
+class TestSpread:
+    def test_two_points_is_their_distance(self):
+        e = ens((0, 0, 0, 0), (1, 1, 1, 1))
+        assert spread(e) == pytest.approx(2.0)
+
+    def test_hand_computed_three_points(self):
+        e = ens((0, 0, 0, 0), (1, 0, 0, 0), (0, 1, 0, 0))
+        expected = (1 + 1 + np.sqrt(2)) / 3
+        assert spread(e) == pytest.approx(expected)
+
+    def test_singleton_and_empty(self):
+        assert spread(ens((0.5, 0.5, 0.5, 0.5))) == 0.0
+        assert spread(ens()) == 0.0
+
+    def test_clustered_below_dispersed(self):
+        clustered = ens(*[(0.5 + d, 0.5, 0.5, 0.5) for d in
+                          (-0.01, 0.0, 0.01)])
+        dispersed = ens((0, 0, 0, 0), (1, 1, 1, 1), (1, 0, 1, 0))
+        assert spread(clustered) < spread(dispersed)
+
+    def test_accepts_raw_matrix(self):
+        mat = np.array([[0, 0, 0, 0], [1, 1, 1, 1.0]])
+        assert spread(mat) == pytest.approx(2.0)
+
+    def test_duplicate_points_lower_spread(self):
+        base = ens((0, 0, 0, 0), (1, 1, 1, 1))
+        padded = ens((0, 0, 0, 0), (1, 1, 1, 1), (1, 1, 1, 1))
+        assert spread(padded) < spread(base)
+
+
+class TestCoverage:
+    def test_more_members_never_hurt(self):
+        space = BehaviorSpace()
+        samples = space.sample(5000, seed=1)
+        e1 = ens((0.5, 0.5, 0.5, 0.5))
+        e2 = e1.with_member(vec(0.1, 0.1, 0.1, 0.1))
+        c1 = coverage(e1, samples=samples)
+        c2 = coverage(e2, samples=samples)
+        assert c2 >= c1
+
+    def test_center_beats_corner(self):
+        space = BehaviorSpace()
+        samples = space.sample(5000, seed=1)
+        center = coverage(ens((0.5, 0.5, 0.5, 0.5)), samples=samples)
+        corner = coverage(ens((0.0, 0.0, 0.0, 0.0)), samples=samples)
+        assert center > corner
+
+    def test_bounded_by_diameter(self):
+        space = BehaviorSpace()
+        samples = space.sample(2000, seed=2)
+        c = coverage(ens((0.2, 0.8, 0.5, 0.1)), samples=samples)
+        assert 0.0 < c < space.diameter
+
+    def test_mean_min_distance_zero_on_samples(self):
+        # An ensemble containing every sample point has mmd 0.
+        space = BehaviorSpace()
+        samples = space.sample(50, seed=3)
+        mmd = mean_min_distance(samples, samples=samples)
+        assert mmd == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_min_distance(np.empty((0, 4)))
+
+    def test_monte_carlo_stability(self):
+        e = ens((0.3, 0.3, 0.7, 0.7), (0.8, 0.2, 0.1, 0.9))
+        a = coverage(e, n_samples=20_000, seed=1)
+        b = coverage(e, n_samples=20_000, seed=2)
+        assert a == pytest.approx(b, abs=0.01)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            spread(np.ones((3, 5)))
+
+
+class TestEnsembleClass:
+    def test_subset_and_with_member(self):
+        e = ens((0, 0, 0, 0), (1, 1, 1, 1), (0.5, 0.5, 0.5, 0.5))
+        sub = e.subset([0, 2])
+        assert sub.size == 2
+        grown = sub.with_member(vec(1, 0, 1, 0))
+        assert grown.size == 3
+
+    def test_subset_range_check(self):
+        with pytest.raises(ValidationError):
+            ens((0, 0, 0, 0)).subset([4])
+
+    def test_algorithms_from_tags(self):
+        e = Ensemble.of([
+            vec(0, 0, 0, 0, tag=("pagerank", 100, 2.0)),
+            vec(1, 1, 1, 1, tag=("als", 100, 2.5)),
+        ])
+        assert e.algorithms() == ["pagerank", "als"]
+
+    def test_describe(self):
+        e = Ensemble.of([vec(0.1, 0.2, 0.3, 0.4, tag=("cc", 10, 2.0))],
+                        name="demo")
+        text = e.describe()
+        assert "demo" in text and "cc" in text
+
+    def test_iteration_and_len(self):
+        e = ens((0, 0, 0, 0), (1, 1, 1, 1))
+        assert len(list(e)) == len(e) == 2
+
+
+@given(st.lists(
+    st.tuples(*[st.floats(0, 1, allow_nan=False) for _ in range(4)]),
+    min_size=2, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_spread_bounded_by_diameter(points):
+    """Property: 0 <= spread <= diameter of the unit cube."""
+    s = spread(ens(*points))
+    assert 0.0 <= s <= BehaviorSpace().diameter + 1e-9
+
+
+@given(st.lists(
+    st.tuples(*[st.floats(0, 1, allow_nan=False) for _ in range(4)]),
+    min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_coverage_monotone_under_union(points):
+    """Property: adding a member never decreases coverage."""
+    space = BehaviorSpace()
+    samples = space.sample(1500, seed=9)
+    e = ens(*points)
+    c_full = coverage(e, samples=samples)
+    c_partial = coverage(e.subset(range(len(points) - 1)), samples=samples) \
+        if len(points) > 1 else -np.inf
+    assert c_full >= c_partial - 1e-12

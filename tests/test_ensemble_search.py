@@ -1,0 +1,216 @@
+"""Tests for best-ensemble search, bounds, frequency, and constraints."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.behavior.space import BehaviorSpace, BehaviorVector
+from repro.ensemble.bounds import (
+    UpperBounds,
+    max_coverage_points,
+    max_spread_points,
+)
+from repro.ensemble.constrained import (
+    limit_to_algorithms,
+    limit_to_structures,
+    truncate_trace,
+)
+from repro.ensemble.frequency import algorithm_frequencies
+from repro.ensemble.metrics import coverage, spread
+from repro.ensemble.search import (
+    best_ensemble,
+    best_ensemble_curve,
+    exhaustive_best,
+    top_k_ensembles,
+)
+from repro.generators.rng import make_rng
+
+
+def random_pool(n=24, seed=0, tag_algorithms=("a", "b", "c")):
+    rng = make_rng(seed, "test-pool")
+    pool = []
+    for i in range(n):
+        coords = rng.random(4)
+        tag = (tag_algorithms[i % len(tag_algorithms)], 10 ** (i % 3), 2.0)
+        pool.append(BehaviorVector(*coords, tag=tag))
+    return pool
+
+
+class TestBestEnsemble:
+    def test_matches_exhaustive_spread(self):
+        pool = random_pool(14, seed=3)
+        beam = best_ensemble(pool, 4, "spread", beam_width=64)
+        exact = exhaustive_best(pool, 4, "spread")
+        assert beam.score == pytest.approx(exact.score, rel=1e-9)
+
+    def test_matches_exhaustive_coverage(self):
+        space = BehaviorSpace()
+        samples = space.sample(1500, seed=4)
+        pool = random_pool(12, seed=5)
+        beam = best_ensemble(pool, 3, "coverage", samples=samples,
+                             beam_width=64)
+        exact = exhaustive_best(pool, 3, "coverage", samples=samples)
+        assert beam.score == pytest.approx(exact.score, rel=1e-6)
+
+    def test_score_equals_metric_recompute(self):
+        pool = random_pool(18, seed=6)
+        res = best_ensemble(pool, 5, "spread")
+        assert res.score == pytest.approx(spread(res.ensemble), rel=1e-9)
+
+    def test_coverage_score_recompute(self):
+        space = BehaviorSpace()
+        samples = space.sample(2000, seed=7)
+        pool = random_pool(18, seed=7)
+        res = best_ensemble(pool, 4, "coverage", samples=samples)
+        assert res.score == pytest.approx(
+            coverage(res.ensemble, samples=samples), rel=1e-9)
+
+    def test_distinct_members(self):
+        pool = random_pool(20, seed=8)
+        res = best_ensemble(pool, 6, "spread")
+        assert len(set(res.indices)) == 6
+
+    def test_validation(self):
+        pool = random_pool(5)
+        with pytest.raises(ValidationError):
+            best_ensemble(pool, 9, "spread")
+        with pytest.raises(ValidationError):
+            best_ensemble(pool, 0, "spread")
+        with pytest.raises(ValidationError):
+            best_ensemble(pool, 2, "entropy")
+
+    def test_curve_keys(self):
+        pool = random_pool(15, seed=9)
+        curve = best_ensemble_curve(pool, [2, 4, 6], "spread")
+        assert sorted(curve) == [2, 4, 6]
+        # Best spread is non-increasing with ensemble size (adding
+        # members can only pull the mean pairwise distance down once
+        # the two farthest points are in).
+        assert curve[2].score >= curve[4].score >= curve[6].score
+
+
+class TestTopK:
+    def test_sorted_unique(self):
+        pool = random_pool(20, seed=10)
+        top = top_k_ensembles(pool, 4, "spread", k=10)
+        scores = [r.score for r in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len({r.indices for r in top}) == len(top)
+
+    def test_first_equals_best(self):
+        pool = random_pool(16, seed=11)
+        top = top_k_ensembles(pool, 4, "spread", k=5, beam_width=600)
+        best = exhaustive_best(pool, 4, "spread")
+        assert top[0].score == pytest.approx(best.score, rel=1e-9)
+
+    def test_k_validation(self):
+        with pytest.raises(ValidationError):
+            top_k_ensembles(random_pool(8), 2, "spread", k=0)
+
+
+class TestBounds:
+    def test_spread_bound_includes_antipodal_pair(self):
+        pts = max_spread_points(2)
+        assert spread(pts) == pytest.approx(BehaviorSpace().diameter)
+
+    def test_bounds_dominate_random_ensembles(self):
+        space = BehaviorSpace()
+        samples = space.sample(4000, seed=12)
+        ub = UpperBounds.compute([3, 6, 10], samples=samples)
+        rng = make_rng(1, "rand-ens")
+        for i, size in enumerate(ub.sizes):
+            for trial in range(5):
+                pts = rng.random((size, 4))
+                assert spread(pts) <= ub.spread_bound[i] + 1e-9
+                assert coverage(pts, samples=samples) \
+                    <= ub.coverage_bound[i] + 1e-9
+
+    def test_coverage_bound_monotone(self):
+        samples = BehaviorSpace().sample(4000, seed=13)
+        ub = UpperBounds.compute([2, 5, 10, 15], samples=samples)
+        assert list(ub.coverage_bound) == sorted(ub.coverage_bound)
+
+    def test_deterministic(self):
+        a = max_coverage_points(5, seed=3)
+        b = max_coverage_points(5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            max_spread_points(0)
+        with pytest.raises(ValidationError):
+            max_coverage_points(-1)
+
+
+class TestFrequency:
+    def test_slot_share_sums_to_one(self):
+        pool = random_pool(20, seed=14)
+        top = top_k_ensembles(pool, 5, "spread", k=20)
+        rep = algorithm_frequencies(top)
+        assert sum(rep.slot_share.values()) == pytest.approx(1.0)
+        assert all(0 <= p <= 1 for p in rep.presence.values())
+        assert rep.n_ensembles == len(top)
+
+    def test_ranked_and_top(self):
+        pool = random_pool(20, seed=15)
+        top = top_k_ensembles(pool, 5, "spread", k=10)
+        rep = algorithm_frequencies(top)
+        ranked = rep.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+        assert rep.top_algorithms(2) == [name for name, _ in ranked[:2]]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            algorithm_frequencies([])
+
+    def test_rejects_untagged(self):
+        from repro.ensemble.ensemble import Ensemble
+        from repro.ensemble.search import SearchResult
+
+        e = Ensemble.of([BehaviorVector(0, 0, 0, 0)])
+        res = SearchResult(ensemble=e, score=0.0, indices=(0,),
+                           metric="spread")
+        with pytest.raises(ValidationError):
+            algorithm_frequencies([res])
+
+
+class TestConstrained:
+    def test_limit_to_algorithms(self):
+        pool = random_pool(12, seed=16)
+        kept = limit_to_algorithms(pool, ("a",))
+        assert kept and all(v.tag[0] == "a" for v in kept)
+
+    def test_limit_to_algorithms_missing(self):
+        with pytest.raises(ValidationError):
+            limit_to_algorithms(random_pool(6), ("zz",))
+
+    def test_limit_to_structures(self):
+        pool = random_pool(12, seed=17)
+        kept = limit_to_structures(pool, [(1, 2.0)])
+        assert kept and all(v.tag[1:] == (1, 2.0) for v in kept)
+
+    def test_truncate_trace(self):
+        from tests.test_behavior import make_trace
+
+        t = make_trace([(1, 1, 2, 3, 0.5)] * 10)
+        short = truncate_trace(t, 4)
+        assert short.n_iterations == 4
+        assert not short.converged
+        assert short.stop_reason == "truncated@4"
+        # Constant behavior ⇒ identical mean metrics after truncation.
+        from repro.behavior.metrics import compute_metrics
+
+        np.testing.assert_allclose(compute_metrics(short).as_array(),
+                                   compute_metrics(t).as_array())
+
+    def test_truncate_noop_when_short(self):
+        from tests.test_behavior import make_trace
+
+        t = make_trace([(1, 1, 2, 3, 0.5)] * 3)
+        assert truncate_trace(t, 10) is t
+
+    def test_truncate_validation(self):
+        from tests.test_behavior import make_trace
+
+        with pytest.raises(ValidationError):
+            truncate_trace(make_trace([]), 0)

@@ -1,0 +1,201 @@
+"""Tests for the experiment configuration, result store, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.behavior.trace import IterationRecord, RunTrace
+from repro.experiments.config import (
+    ALPHAS,
+    CORPUS_ALGORITHMS,
+    FIXED_STRUCTURE_ALGORITHMS,
+    PROFILES,
+    ExperimentMatrix,
+    GraphSpec,
+    get_profile,
+)
+from repro.experiments.priorwork import PRIOR_STUDIES, table1_rows
+from repro.experiments.reporting import (
+    correlation_sign,
+    format_curve_block,
+    format_series,
+    format_table,
+    sparkline,
+)
+from repro.experiments.results import ResultStore
+
+
+class TestGraphSpec:
+    def test_constructors_set_domain(self):
+        assert GraphSpec.ga(100, 2.5).domain == "ga"
+        assert GraphSpec.clustering(100, 2.5).domain == "clustering"
+        assert GraphSpec.cf(100, 2.5).domain == "cf"
+        assert GraphSpec.matrix(10).domain == "matrix"
+        assert GraphSpec.grid(5).domain == "grid"
+        assert GraphSpec.mrf(50).domain == "mrf"
+
+    def test_generate_dispatch(self):
+        prob = GraphSpec.ga(200, 2.5, seed=1).generate()
+        assert prob.domain == "ga"
+        prob = GraphSpec.matrix(20, seed=1).generate()
+        assert prob.domain == "matrix"
+
+    def test_for_domain_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            GraphSpec.for_domain("quantum", nedges=10)
+
+    def test_labels_and_keys(self):
+        spec = GraphSpec.ga(1000, 2.25, seed=3)
+        assert "α=2.25" in spec.label
+        assert spec.cache_key() == "ga-ne1000-a2.25-nrNone-s3"
+        assert spec.structure_key == (1000, 2.25, None)
+
+    def test_hashable_and_frozen(self):
+        a = GraphSpec.ga(100, 2.5)
+        b = GraphSpec.ga(100, 2.5)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"smoke", "paper"}
+        assert get_profile("smoke").name == "smoke"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "smoke"
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert get_profile().name == "paper"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValidationError):
+            get_profile("cluster")
+
+    def test_size_ratios_match_paper(self):
+        # The paper steps sizes by ×10 across four values.
+        p = get_profile("paper")
+        ratios = np.diff(np.log10(np.asarray(p.ga_sizes)))
+        np.testing.assert_allclose(ratios, 1.0)
+        assert p.alphas == ALPHAS
+
+
+class TestExperimentMatrix:
+    def test_corpus_plan_is_11x20(self):
+        matrix = ExperimentMatrix(get_profile("smoke"))
+        plan = matrix.corpus_runs()
+        assert len(plan) == 11 * 20
+        assert {p.algorithm for p in plan} == set(CORPUS_ALGORITHMS)
+
+    def test_fixed_structure_plans(self):
+        matrix = ExperimentMatrix(get_profile("smoke"))
+        for alg in FIXED_STRUCTURE_ALGORITHMS:
+            assert len(matrix.runs_for_algorithm(alg)) == 4
+
+    def test_all_runs_count(self):
+        matrix = ExperimentMatrix(get_profile("smoke"))
+        assert len(matrix.all_runs()) == 220 + 12
+        assert len(list(iter(matrix))) == 232
+
+    def test_cf_uses_cf_sizes(self):
+        matrix = ExperimentMatrix(get_profile("smoke"))
+        sizes = {p.spec.nedges for p in matrix.runs_for_algorithm("als")}
+        assert sizes == set(get_profile("smoke").cf_sizes)
+
+
+class TestResultStore:
+    def _trace(self):
+        return RunTrace(
+            algorithm="toy", graph_params={"nedges": 10}, domain="ga",
+            n_vertices=4, n_edges=10,
+            iterations=[IterationRecord(0, 4, 4, 10, 2, 0.5)],
+            converged=True, stop_reason="converged",
+        )
+
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("k1", self._trace())
+        assert store.contains("k1")
+        assert store.load("k1") == self._trace()
+
+    def test_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("nope") is None
+        assert store.load_failure("nope") is None
+
+    def test_failure_marker(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_failure("f1", "out of memory")
+        assert store.load("f1") is None
+        assert store.load_failure("f1") == "out of memory"
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("k1", self._trace())
+        store._path("k1").write_text("{not json")
+        assert store.load("k1") is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a", self._trace())
+        store.save("b", self._trace())
+        assert store.clear() == 2
+        assert not store.contains("a")
+
+    def test_empty_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValidationError):
+            store.save("", self._trace())
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 0.0001]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "0.0001" in text
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_sparkline(self):
+        s = sparkline([0, 0.5, 1.0])
+        assert len(s) == 3
+        assert s[0] == "▁" and s[-1] == "█"
+        assert sparkline([]) == ""
+
+    def test_format_series(self):
+        line = format_series("pr", ["2.0", "3.0"], [0.5, 1.0])
+        assert "pr" in line and "2.0=0.5" in line
+
+    def test_format_series_rejects_misaligned(self):
+        with pytest.raises(ValidationError):
+            format_series("x", [1], [1.0, 2.0])
+
+    def test_format_curve_block(self):
+        block = format_curve_block("Fig", {"s": ([1, 2], [0.1, 0.2])})
+        assert block.startswith("Fig")
+        assert "s" in block
+
+    def test_correlation_sign(self):
+        assert correlation_sign([1, 2, 3], [2, 4, 6]) == "+"
+        assert correlation_sign([1, 2, 3], [6, 4, 2]) == "-"
+        assert correlation_sign([1, 2, 3, 4], [1, -1, -1, 1]) == "0"
+        assert correlation_sign([1, 1, 1], [1, 2, 3]) == "0"
+        with pytest.raises(ValidationError):
+            correlation_sign([1], [1])
+
+
+class TestPriorWork:
+    def test_three_studies(self):
+        assert len(PRIOR_STUDIES) == 3
+        assert len(table1_rows()) == 3
+
+    def test_mapped_algorithms_exist(self):
+        from repro.algorithms.registry import ALGORITHM_NAMES
+
+        for study in PRIOR_STUDIES:
+            for alg in study.mapped_algorithms():
+                assert alg in ALGORITHM_NAMES

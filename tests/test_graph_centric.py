@@ -1,0 +1,97 @@
+"""Tests for the graph-centric ("think like a graph") engine."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.algorithms.registry import create
+from repro.behavior.run import build_engine_options
+from repro.engine.engine import SynchronousEngine
+from repro.engine.graph_centric import GraphCentricEngine, GraphCentricOptions
+from repro.generators import powerlaw_graph
+
+
+def run_gc(name, problem, **opts):
+    program = create(name)
+    engine = GraphCentricEngine(GraphCentricOptions(**opts))
+    return engine.run(program, problem), program
+
+
+def run_sync(name, problem):
+    program = create(name)
+    engine = SynchronousEngine(build_engine_options(name))
+    return engine.run(program, problem), program
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return powerlaw_graph(1_200, 2.4, seed=71)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_partitions", [1, 3, 8])
+    def test_cc_matches_sync(self, problem, n_partitions):
+        gc_trace, gc_prog = run_gc("cc", problem,
+                                   n_partitions=n_partitions)
+        _s, sync_prog = run_sync("cc", problem)
+        assert gc_trace.converged
+        np.testing.assert_array_equal(gc_prog.component,
+                                      sync_prog.component)
+
+    @pytest.mark.parametrize("n_partitions", [2, 5])
+    def test_sssp_matches_sync(self, problem, n_partitions):
+        gc_trace, gc_prog = run_gc("sssp", problem,
+                                   n_partitions=n_partitions)
+        _s, sync_prog = run_sync("sssp", problem)
+        assert gc_trace.converged
+        np.testing.assert_array_equal(gc_prog.dist, sync_prog.dist)
+
+
+class TestGraphCentricSignature:
+    def test_fewer_supersteps_than_sync_iterations(self, problem):
+        """The model's pitch: internal propagation collapses chains of
+        synchronous iterations into one superstep."""
+        gc_trace, _ = run_gc("cc", problem, n_partitions=4)
+        sync_trace, _ = run_sync("cc", problem)
+        assert gc_trace.n_iterations <= sync_trace.n_iterations
+
+    def test_messages_are_cross_partition_only(self, problem):
+        """With one partition there are no boundaries — zero messages."""
+        gc_trace, _ = run_gc("cc", problem, n_partitions=1)
+        assert all(rec.messages == 0 for rec in gc_trace.iterations)
+        # And the whole computation finishes in one superstep.
+        assert gc_trace.n_iterations == 1
+
+    def test_more_partitions_more_messages(self, problem):
+        msgs = {}
+        for parts in (2, 8):
+            trace, _ = run_gc("cc", problem, n_partitions=parts)
+            msgs[parts] = sum(r.messages for r in trace.iterations)
+        assert msgs[8] >= msgs[2]
+
+    def test_inner_sweep_cap_does_not_lose_work(self, problem):
+        """With a 1-sweep cap, residue carries to the next superstep and
+        the fixed point is still exact."""
+        gc_trace, gc_prog = run_gc("cc", problem, n_partitions=4,
+                                   max_inner_sweeps=1)
+        _s, sync_prog = run_sync("cc", problem)
+        assert gc_trace.converged
+        np.testing.assert_array_equal(gc_prog.component,
+                                      sync_prog.component)
+
+
+class TestValidation:
+    def test_rejects_non_monotone_program(self, problem):
+        with pytest.raises(ValidationError):
+            run_gc("pagerank", problem)
+
+    def test_options_validation(self):
+        with pytest.raises(ValidationError):
+            GraphCentricOptions(n_partitions=0)
+        with pytest.raises(ValidationError):
+            GraphCentricOptions(max_supersteps=0)
+
+    def test_deterministic(self, problem):
+        a, _ = run_gc("sssp", problem, n_partitions=3)
+        b, _ = run_gc("sssp", problem, n_partitions=3)
+        assert a.to_dict()["iterations"] == b.to_dict()["iterations"]

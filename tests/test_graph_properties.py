@@ -1,0 +1,73 @@
+"""Tests for degree-distribution analysis and power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.generators import powerlaw_graph
+from repro.graph.csr import Graph
+from repro.graph.properties import (
+    degree_distribution,
+    fit_power_law_alpha,
+    summarize,
+)
+
+
+class TestDegreeDistribution:
+    def test_sums_to_one(self, ga_problem):
+        ks, frac = degree_distribution(ga_problem.graph)
+        assert frac.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(ks) > 0)
+
+    def test_small_graph_exact(self):
+        g = Graph.from_edges(4, np.array([0, 0, 1, 2]),
+                             np.array([1, 2, 2, 3]))
+        ks, frac = degree_distribution(g)
+        assert ks.tolist() == [1, 2, 3]
+        np.testing.assert_allclose(frac, [0.25, 0.5, 0.25])
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self, rng):
+        # Sample degrees from an exact discrete power law and fit. The
+        # continuous-approximation MLE carries a known small-k_min bias,
+        # so use a deep tail and a generous absolute tolerance.
+        alpha = 2.5
+        ks = np.arange(6, 20_000)
+        pmf = ks ** (-alpha)
+        pmf /= pmf.sum()
+        sample = rng.choice(ks, size=40_000, p=pmf)
+        fitted = fit_power_law_alpha(sample, k_min=6)
+        assert fitted == pytest.approx(alpha, abs=0.15)
+
+    def test_monotone_in_generator_alpha(self):
+        # Heavier tails (smaller α) must fit smaller exponents.
+        fits = []
+        for alpha in (2.0, 2.5, 3.0):
+            prob = powerlaw_graph(20_000, alpha, seed=9)
+            fits.append(fit_power_law_alpha(prob.graph.degree, k_min=2))
+        assert fits[0] < fits[1] < fits[2]
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValidationError):
+            fit_power_law_alpha(np.array([3]), k_min=2)
+
+    def test_rejects_all_below_kmin(self):
+        with pytest.raises(ValidationError):
+            fit_power_law_alpha(np.array([1, 1, 1, 1]), k_min=3)
+
+
+class TestSummarize:
+    def test_fields(self, ga_problem):
+        s = summarize(ga_problem.graph)
+        assert s.n_vertices == ga_problem.graph.n_vertices
+        assert s.n_edges == ga_problem.graph.n_edges
+        assert s.min_degree <= s.mean_degree <= s.max_degree
+        assert s.alpha_mle is not None
+        assert "|V|" in s.as_row()
+
+    def test_no_alpha_on_degenerate(self):
+        g = Graph.from_edges(2, np.array([0]), np.array([1]))
+        s = summarize(g, k_min=2)
+        assert s.alpha_mle is None
+        assert "n/a" in s.as_row()

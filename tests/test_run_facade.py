@@ -1,0 +1,93 @@
+"""Tests for the run façade (GraphComputation, run_computation) and
+engine instrumentation helpers."""
+
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.behavior.run import (
+    GraphComputation,
+    build_engine_options,
+    run_computation,
+)
+from repro.engine.instrumentation import Counters, WorkModel
+from repro.experiments.config import GraphSpec
+
+
+class TestRunComputation:
+    def test_spec_and_problem_inputs(self, ga_problem):
+        spec = GraphSpec.ga(nedges=300, alpha=2.5, seed=1)
+        by_spec = run_computation("cc", spec)
+        by_problem = run_computation("cc", ga_problem)
+        assert by_spec.algorithm == by_problem.algorithm == "cc"
+
+    def test_domain_mismatch_rejected(self, ga_problem):
+        with pytest.raises(ValidationError):
+            run_computation("als", ga_problem)  # ALS wants cf inputs
+
+    def test_rejects_junk_input(self):
+        with pytest.raises(ValidationError):
+            run_computation("cc", "not-a-spec")
+
+    def test_param_overrides_reach_program(self):
+        spec = GraphSpec.ga(nedges=300, alpha=2.5, seed=1)
+        trace = run_computation("sssp", spec, params={"source": 2})
+        assert trace.result["source"] == 2
+
+    def test_option_overrides_reach_engine(self):
+        spec = GraphSpec.ga(nedges=300, alpha=2.5, seed=1)
+        trace = run_computation("pagerank", spec,
+                                options={"max_iterations": 2})
+        assert trace.n_iterations == 2
+
+
+class TestGraphComputation:
+    def test_make_and_run(self):
+        gc = GraphComputation.make(
+            "cc", GraphSpec.ga(nedges=200, alpha=2.5, seed=2))
+        trace = gc.run()
+        assert trace.algorithm == "cc"
+        assert "cc@ga" in gc.label
+
+    def test_cache_key_includes_overrides(self):
+        spec = GraphSpec.ga(nedges=200, alpha=2.5, seed=2)
+        plain = GraphComputation.make("pagerank", spec)
+        tuned = GraphComputation.make("pagerank", spec,
+                                      params={"tol": 0.01})
+        assert plain.cache_key() != tuned.cache_key()
+        assert "tol=0.01" in tuned.cache_key()
+
+    def test_hashable(self):
+        spec = GraphSpec.ga(nedges=200, alpha=2.5, seed=2)
+        a = GraphComputation.make("cc", spec)
+        b = GraphComputation.make("cc", spec)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestBuildEngineOptions:
+    def test_registry_defaults_applied(self):
+        opts = build_engine_options("nmf")
+        assert opts.max_iterations == 20
+
+    def test_overrides_win(self):
+        opts = build_engine_options("nmf", {"max_iterations": 5})
+        assert opts.max_iterations == 5
+
+
+class TestInstrumentation:
+    def test_counters_merge(self):
+        a = Counters(active=5, updates=5, edge_reads=10, messages=2,
+                     work=0.5)
+        b = Counters(active=8, updates=3, edge_reads=4, messages=1,
+                     work=0.25)
+        a.merge(b)
+        assert a.active == 8          # max
+        assert a.updates == 8         # sum
+        assert a.edge_reads == 14
+        assert a.messages == 3
+        assert a.work == pytest.approx(0.75)
+
+    def test_work_model_validation(self):
+        WorkModel(kind="unit")
+        WorkModel(kind="measured")
+        with pytest.raises(ValueError):
+            WorkModel(kind="psychic")

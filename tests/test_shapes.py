@@ -1,0 +1,72 @@
+"""Tests for active-fraction shape classification."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.behavior.shapes import (
+    ActivityShape,
+    classify_activity_shape,
+    shape_profile,
+)
+
+
+class TestClassifier:
+    def test_always_active(self):
+        assert classify_activity_shape(np.ones(30)) \
+            == ActivityShape.ALWAYS_ACTIVE
+
+    def test_sharp_drop(self):
+        series = np.concatenate([[1.0], np.full(3, 0.3), np.full(16, 0.05)])
+        assert classify_activity_shape(series) == ActivityShape.SHARP_DROP
+
+    def test_gradual_decay(self):
+        series = np.linspace(1.0, 0.2, 30)
+        assert classify_activity_shape(series) == ActivityShape.GRADUAL_DECAY
+
+    def test_grow_peak_drain(self):
+        series = np.concatenate([np.linspace(0.01, 0.9, 10),
+                                 np.linspace(0.9, 0.02, 10)])
+        assert classify_activity_shape(series) \
+            == ActivityShape.GROW_PEAK_DRAIN
+
+    def test_bursty(self):
+        base = np.full(24, 0.2)
+        base[0] = 1.0
+        base[6] = base[12] = base[18] = 0.9  # repeated re-activations
+        assert classify_activity_shape(base) == ActivityShape.BURSTY
+
+    def test_short_series_irregular(self):
+        assert classify_activity_shape(np.array([0.4, 0.2])) \
+            == ActivityShape.IRREGULAR
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            classify_activity_shape(np.array([]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            classify_activity_shape(np.array([0.5, 1.5]))
+
+
+class TestOnRealAlgorithms:
+    """The classifier reproduces the paper's per-algorithm vocabulary."""
+
+    def test_signatures(self, mini_corpus):
+        traces = [r.trace for r in mini_corpus.runs]
+        profile = shape_profile(traces)
+        # Always-active family (paper Sections 4.2-4.4).
+        for alg in ("diameter", "kmeans", "nmf", "sgd", "svd"):
+            assert profile[alg] == ActivityShape.ALWAYS_ACTIVE, alg
+        # SSSP grows from its source (paper Section 1).
+        assert profile["sssp"] in (ActivityShape.GROW_PEAK_DRAIN,
+                                   ActivityShape.BURSTY)
+        # CC and PR start full and drain.
+        for alg in ("cc", "pagerank"):
+            assert profile[alg] in (ActivityShape.GRADUAL_DECAY,
+                                    ActivityShape.SHARP_DROP), alg
+
+    def test_shape_profile_is_per_algorithm(self, mini_corpus):
+        traces = [r.trace for r in mini_corpus.runs]
+        profile = shape_profile(traces)
+        assert set(profile) == set(mini_corpus.algorithms())

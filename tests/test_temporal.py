@@ -1,0 +1,106 @@
+"""Tests for temporal (variability-aware) behavior characterization."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.behavior.temporal import (
+    TEMPORAL_METRIC_NAMES,
+    compute_temporal_behavior,
+    normalize_temporal_corpus,
+    temporal_corpus,
+)
+from tests.test_behavior import make_trace
+
+
+class TestComputeTemporalBehavior:
+    def test_constant_series_zero_cv(self):
+        t = make_trace([(5, 5, 10, 3, 0.5)] * 8)
+        tb = compute_temporal_behavior(t)
+        assert tb.cvs == (0.0, 0.0, 0.0, 0.0)
+        assert tb.means[0] == pytest.approx(5 / 20)
+
+    def test_bursty_series_high_cv(self):
+        steady = make_trace([(5, 5, 10, 10, 1.0)] * 10)
+        bursty = make_trace([(5, 5, 10, 0, 1.0),
+                             (5, 5, 10, 100, 1.0)] * 5)
+        cv_steady = compute_temporal_behavior(steady).cvs[3]
+        cv_bursty = compute_temporal_behavior(bursty).cvs[3]
+        assert cv_steady == 0.0
+        assert cv_bursty > 0.9
+
+    def test_hand_computed_cv(self):
+        t = make_trace([(1, 1, 2, 0, 0.0), (1, 1, 4, 0, 0.0)])
+        tb = compute_temporal_behavior(t)
+        # eread series per edge: [0.1, 0.2] → mean 0.15, std 0.05.
+        assert tb["eread"] == pytest.approx(0.15)
+        assert tb["cv_eread"] == pytest.approx(0.05 / 0.15)
+
+    def test_zero_series_cv_zero(self):
+        t = make_trace([(1, 1, 1, 0, 0.0)] * 4)
+        assert compute_temporal_behavior(t).cvs[3] == 0.0
+
+    def test_getitem_validation(self):
+        tb = compute_temporal_behavior(make_trace([(1, 1, 1, 1, 1.0)]))
+        with pytest.raises(ValidationError):
+            tb["cv_latency"]
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValidationError):
+            compute_temporal_behavior(make_trace([]))
+
+    def test_name_order(self):
+        assert TEMPORAL_METRIC_NAMES == (
+            "updt", "work", "eread", "msg",
+            "cv_updt", "cv_work", "cv_eread", "cv_msg")
+
+
+class TestNormalizeTemporalCorpus:
+    def _behaviors(self):
+        return [compute_temporal_behavior(make_trace(rows)) for rows in (
+            [(5, 5, 10, 3, 0.5)] * 4,
+            [(1, 1, 2, 0, 0.1), (9, 9, 18, 6, 0.9)] * 3,
+        )]
+
+    def test_unit_cube(self):
+        coords, tags = normalize_temporal_corpus(self._behaviors())
+        assert coords.shape == (2, 8)
+        assert coords.min() >= 0 and coords.max() <= 1.0
+
+    def test_cv_separates_equal_means(self):
+        coords, _tags = normalize_temporal_corpus(self._behaviors())
+        # The two runs have identical mean metrics but different CVs.
+        np.testing.assert_allclose(coords[0, :4], coords[1, :4])
+        assert np.abs(coords[0, 4:] - coords[1, 4:]).max() > 0.05
+
+    def test_cv_cap(self):
+        wild = compute_temporal_behavior(
+            make_trace([(1, 1, 1, 0, 0.0)] * 9 + [(1, 1, 1, 900, 0.0)]))
+        coords, _ = normalize_temporal_corpus([wild], cv_cap=1.0)
+        assert coords[0, 7] == 1.0  # clipped
+
+    def test_tags_and_empty(self):
+        coords, tags = normalize_temporal_corpus([], tags=None)
+        assert coords.shape == (0, 8) and tags == []
+        with pytest.raises(ValidationError):
+            normalize_temporal_corpus(self._behaviors(), tags=[1])
+
+
+class TestOnCorpus:
+    def test_temporal_corpus_shape(self, mini_corpus):
+        coords, tags = temporal_corpus(mini_corpus)
+        assert coords.shape == (mini_corpus.n_runs, 8)
+        assert len(tags) == mini_corpus.n_runs
+
+    def test_always_active_have_low_updt_cv(self, mini_corpus):
+        coords, tags = temporal_corpus(mini_corpus)
+        by_alg = {}
+        for row, tag in zip(coords, tags):
+            by_alg.setdefault(tag[0], []).append(row[4])  # cv_updt
+        # Always-active algorithms update everyone every iteration:
+        # near-zero temporal variability in UPDT... (coordinates are
+        # CV / cv_cap, so 0.02 ≈ raw CV 0.08)
+        for alg in ("kmeans", "sgd", "svd", "nmf", "diameter"):
+            assert np.mean(by_alg[alg]) < 0.02, alg
+        # ...while frontier algorithms churn (raw CV well above 0.5).
+        assert np.mean(by_alg["sssp"]) > 0.15
