@@ -40,6 +40,7 @@ from repro.engine.program import Direction, VertexProgram
 from repro.ensemble.ensemble import Ensemble
 from repro.ensemble.metrics import coverage, mean_min_distance, spread
 from repro.experiments.config import ExperimentMatrix, GraphSpec, Profile
+from repro.experiments.failures import RunFailure
 from repro.graph.csr import Graph
 
 __version__ = "1.0.0"
@@ -56,6 +57,7 @@ __all__ = [
     "GraphSpec",
     "IterationRecord",
     "Profile",
+    "RunFailure",
     "RunTrace",
     "SynchronousEngine",
     "VertexProgram",

@@ -39,3 +39,29 @@ class ResourceLimitError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an algorithm that must converge fails to do so."""
+
+
+class RunTimeoutError(ReproError):
+    """Raised when a run exceeds its configured wall-clock budget.
+
+    The corpus runner enforces a per-run wall-clock limit so one
+    pathological (algorithm, graph) cell cannot stall an unattended
+    build; the timeout is delivered via ``SIGALRM`` (see
+    :func:`repro._util.timing.wall_clock_limit`) and classified as the
+    ``"timeout"`` failure kind.
+    """
+
+    def __init__(self, message: str, *, timeout_s: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
+class CacheCorruptError(ReproError):
+    """Raised when a result-store entry is corrupt and cannot be quarantined.
+
+    Ordinarily the store moves unreadable entries into its quarantine
+    directory and the runner silently re-executes the cell; this error
+    surfaces only when that recovery itself fails (e.g. the quarantine
+    move hits a permission error), and is classified as the
+    ``"cache-corrupt"`` failure kind.
+    """

@@ -1,8 +1,53 @@
-"""Small timing helper used by the engine's measured work model."""
+"""Timing helpers: the engine's apply-phase stopwatch and the corpus
+runner's per-run wall-clock limit."""
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import time
+from typing import Iterator
+
+from repro._util.errors import RunTimeoutError
+
+
+@contextlib.contextmanager
+def wall_clock_limit(seconds: "float | None") -> Iterator[None]:
+    """Raise :class:`RunTimeoutError` if the body runs longer than
+    ``seconds`` of wall-clock time.
+
+    Enforcement uses ``SIGALRM``/``setitimer``, which interrupts pure
+    numpy compute loops without any cooperation from the running code.
+    That mechanism only exists on Unix and only works in a process's
+    main thread — exactly where corpus runs execute, both inline and in
+    :class:`~concurrent.futures.ProcessPoolExecutor` workers. Anywhere
+    else (Windows, a non-main thread) the limit degrades to a no-op
+    rather than failing the run.
+
+    ``seconds`` of ``None`` or ``<= 0`` disables the limit.
+    """
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - signal context
+        raise RunTimeoutError(
+            f"run exceeded its {seconds:g}s wall-clock limit",
+            timeout_s=seconds,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 class Stopwatch:

@@ -10,10 +10,13 @@ the engine with profile-appropriate options, and returns the
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from repro._util.errors import ValidationError
+from repro._util.timing import wall_clock_limit
 from repro.algorithms.registry import create, info
 from repro.behavior.trace import RunTrace
 from repro.engine.engine import EngineOptions, SynchronousEngine
@@ -70,12 +73,37 @@ def build_engine_options(
     return EngineOptions(**merged)
 
 
+#: Fault-injection hooks for resilience testing. When the variable is
+#: set and its value is a substring of ``<algorithm>-<spec cache key>``,
+#: the matching run misbehaves *inside* :func:`run_computation` — the
+#: same place a real engine fault would surface — so the corpus
+#: runner's crash isolation, retries, and timeouts can be exercised
+#: end-to-end (including across process-pool workers, which inherit the
+#: environment).
+INJECT_CRASH_ENV = "REPRO_INJECT_CRASH"
+#: Value format: ``<substring>:<seconds>`` — the matching run sleeps
+#: that long before executing (drives the wall-clock timeout path).
+INJECT_SLEEP_ENV = "REPRO_INJECT_SLEEP"
+
+
+def _maybe_inject_fault(run_key: str) -> None:
+    target = os.environ.get(INJECT_CRASH_ENV)
+    if target and target in run_key:
+        raise RuntimeError(f"injected crash for {run_key}")
+    sleep_spec = os.environ.get(INJECT_SLEEP_ENV)
+    if sleep_spec and ":" in sleep_spec:
+        substring, _, seconds = sleep_spec.rpartition(":")
+        if substring and substring in run_key:
+            time.sleep(float(seconds))
+
+
 def run_computation(
     algorithm: str,
     spec_or_problem: GraphSpec | ProblemInstance,
     *,
     params: dict[str, Any] | None = None,
     options: dict[str, Any] | None = None,
+    timeout_s: "float | None" = None,
 ) -> RunTrace:
     """Run one algorithm on one input and return its trace.
 
@@ -91,6 +119,9 @@ def run_computation(
     options:
         Engine option overrides (merged over registry defaults), e.g.
         ``{"mode": "reference", "work_model": "measured"}``.
+    timeout_s:
+        Wall-clock limit covering graph materialization plus engine
+        execution; None (default) disables it.
 
     Raises
     ------
@@ -99,22 +130,27 @@ def run_computation(
     ResourceLimitError
         If the run exceeds the engine memory budget (AD at the largest
         size under the paper profiles).
+    RunTimeoutError
+        If the run exceeds ``timeout_s`` of wall-clock time.
     """
     record = info(algorithm)
-    if isinstance(spec_or_problem, ProblemInstance):
-        problem = spec_or_problem
-    elif isinstance(spec_or_problem, GraphSpec):
-        problem = spec_or_problem.generate()
-    else:
-        raise ValidationError(
-            f"expected GraphSpec or ProblemInstance, got "
-            f"{type(spec_or_problem).__name__}"
-        )
-    if problem.domain != record.domain:
-        raise ValidationError(
-            f"algorithm {algorithm!r} consumes domain {record.domain!r} "
-            f"inputs but got {problem.domain!r}"
-        )
-    program = create(algorithm, **(params or {}))
-    engine = SynchronousEngine(build_engine_options(algorithm, options))
-    return engine.run(program, problem)
+    with wall_clock_limit(timeout_s):
+        if isinstance(spec_or_problem, ProblemInstance):
+            problem = spec_or_problem
+        elif isinstance(spec_or_problem, GraphSpec):
+            run_key = f"{algorithm}-{spec_or_problem.cache_key()}"
+            _maybe_inject_fault(run_key)
+            problem = spec_or_problem.generate()
+        else:
+            raise ValidationError(
+                f"expected GraphSpec or ProblemInstance, got "
+                f"{type(spec_or_problem).__name__}"
+            )
+        if problem.domain != record.domain:
+            raise ValidationError(
+                f"algorithm {algorithm!r} consumes domain {record.domain!r} "
+                f"inputs but got {problem.domain!r}"
+            )
+        program = create(algorithm, **(params or {}))
+        engine = SynchronousEngine(build_engine_options(algorithm, options))
+        return engine.run(program, problem)

@@ -69,6 +69,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cor.add_argument("--progress", action="store_true")
     cor.add_argument("--workers", type=int, default=1,
                      help="worker processes (runs are independent)")
+    cor.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-run wall-clock limit (default: profile's)")
+    cor.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retries for transient failures (default: "
+                          "profile's)")
+    cor.add_argument("--resume", action="store_true",
+                     help="re-execute cells with recorded transient "
+                          "failures (crash/timeout); cached successes and "
+                          "memory-budget failures are reused")
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -172,13 +181,28 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+#: Exit code for a build that completed but recorded unexpected
+#: (non-memory) failures — distinct from argparse/usage errors.
+EXIT_UNEXPECTED_FAILURES = 3
+
+
 def _cmd_corpus(args) -> int:
     from repro.experiments.corpus import build_corpus
 
     progress = (lambda line: print(f"  {line}")) if args.progress else None
     corpus = build_corpus(args.profile, use_cache=not args.no_cache,
-                          progress=progress, workers=args.workers)
+                          progress=progress, workers=args.workers,
+                          timeout_s=args.timeout, retries=args.retries,
+                          resume=args.resume)
     print(corpus.summary())
+    print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
+    unexpected = corpus.unexpected_failures
+    if unexpected:
+        print(f"error: {len(unexpected)} run(s) failed unexpectedly "
+              f"(kinds: "
+              f"{sorted({f.failure.kind for f in unexpected})}); "
+              f"rerun with --resume to re-execute them", file=sys.stderr)
+        return EXIT_UNEXPECTED_FAILURES
     return 0
 
 

@@ -71,6 +71,10 @@ class EngineOptions:
         WorkModel(kind=self.work_model)  # validates
         if self.max_iterations < 1:
             raise ValidationError("max_iterations must be >= 1")
+        if self.unit_scale <= 0:
+            raise ValidationError("unit_scale must be positive")
+        if self.memory_budget_bytes < 1:
+            raise ValidationError("memory_budget_bytes must be >= 1")
 
 
 class SynchronousEngine:

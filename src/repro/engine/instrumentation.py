@@ -47,11 +47,12 @@ class WorkModel:
         Deterministic cost model: ``flops_per_vertex * |apply set| +
         program-reported extra work`` — bit-reproducible, used by tests
         and for cross-machine comparability.
+
+    The scale applied to unit work lives on the engine options
+    (``EngineOptions.unit_scale``), which is what the engines read.
     """
 
     kind: str = "unit"
-    #: Scale applied to unit work so magnitudes resemble seconds.
-    unit_scale: float = 1e-9
 
     VALID: tuple = ("measured", "unit")
 

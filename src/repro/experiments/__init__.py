@@ -8,6 +8,11 @@ from repro.experiments.config import (
     Profile,
     get_profile,
 )
+from repro.experiments.failures import (
+    FAILURE_KINDS,
+    RETRYABLE_KINDS,
+    RunFailure,
+)
 from repro.experiments.results import ResultStore
 
 _LAZY = {"BehaviorCorpus", "build_corpus", "CorpusRun", "execute_planned_run"}
@@ -31,10 +36,13 @@ def __getattr__(name: str):
 __all__ = [
     "BehaviorCorpus",
     "ExperimentMatrix",
+    "FAILURE_KINDS",
     "GraphSpec",
     "PROFILES",
     "Profile",
+    "RETRYABLE_KINDS",
     "ResultStore",
+    "RunFailure",
     "build_corpus",
     "get_profile",
 ]

@@ -180,12 +180,28 @@ class Profile:
     coverage_samples: int = 100_000
     #: Base seed for generators.
     seed: int = 7
+    #: Per-run wall-clock limit in seconds (None disables); exceeding it
+    #: records a ``timeout`` failure instead of stalling the build.
+    run_timeout_s: "float | None" = None
+    #: Retries for transient failure kinds (timeout/crash/cache-corrupt).
+    max_retries: int = 0
+    #: Initial retry backoff; doubles per attempt.
+    retry_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         for attr in ("ga_sizes", "cf_sizes", "matrix_rows", "grid_sides",
                      "mrf_edges"):
             if len(getattr(self, attr)) == 0:
                 raise ValidationError(f"profile {self.name}: {attr} is empty")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValidationError(
+                f"profile {self.name}: run_timeout_s must be positive or None")
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"profile {self.name}: max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValidationError(
+                f"profile {self.name}: retry_backoff_s must be >= 0")
 
 
 PROFILES: dict[str, Profile] = {

@@ -14,7 +14,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro._util.errors import ResourceLimitError
 from repro.behavior.metrics import BehaviorMetrics, compute_metrics
 from repro.behavior.run import run_computation
 from repro.behavior.space import BehaviorVector, normalize_corpus
@@ -26,6 +25,7 @@ from repro.experiments.config import (
     Profile,
     get_profile,
 )
+from repro.experiments.failures import RunFailure
 from repro.experiments.results import ResultStore
 
 
@@ -37,7 +37,10 @@ class CorpusRun:
     spec: GraphSpec
     trace: "RunTrace | None"
     metrics: "BehaviorMetrics | None"
-    failure: "str | None" = None
+    failure: "RunFailure | None" = None
+    #: ``"run"`` if this result was (re-)executed in this build,
+    #: ``"cache"`` if it was loaded from the result store.
+    source: str = "run"
 
     @property
     def ok(self) -> bool:
@@ -62,6 +65,24 @@ class BehaviorCorpus:
     @property
     def n_runs(self) -> int:
         return len(self.runs)
+
+    @property
+    def n_executed(self) -> int:
+        """Cells actually (re-)executed in this build (not cache hits)."""
+        return sum(1 for r in self.runs + self.failures
+                   if r.source == "run")
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.runs + self.failures
+                   if r.source == "cache")
+
+    @property
+    def unexpected_failures(self) -> "list[CorpusRun]":
+        """Failures that are harness faults (crash/timeout/cache-corrupt)
+        rather than the paper's by-design out-of-budget runs."""
+        return [f for f in self.failures
+                if f.failure is not None and not f.failure.expected]
 
     def vectors(self, *, scheme: str = "max") -> list[BehaviorVector]:
         """Corpus-normalized behavior vectors, tagged with run identity."""
@@ -103,49 +124,127 @@ class BehaviorCorpus:
         return "\n".join(lines)
 
 
+def run_cache_key(planned: PlannedRun, profile: Profile) -> str:
+    """The store key identifying one corpus cell under one profile."""
+    return f"{profile.name}-{planned.algorithm}-{planned.spec.cache_key()}"
+
+
 def execute_planned_run(
     planned: PlannedRun,
     profile: Profile,
     store: "ResultStore | None" = None,
+    *,
+    timeout_s: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
 ) -> CorpusRun:
-    """Execute one cell (or fetch it from the store), profile-configured."""
+    """Execute one cell (or fetch it from the store), profile-configured.
+
+    This is the corpus runner's crash-isolation boundary: *any*
+    exception escaping the run — not just the paper's
+    :class:`~repro._util.errors.ResourceLimitError` — is classified
+    into a :class:`~repro.experiments.failures.RunFailure` and recorded,
+    so one faulting cell can never abort the other ~219.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-run wall-clock limit (default: the profile's
+        ``run_timeout_s``); exceeding it records a ``timeout`` failure.
+    retries:
+        Extra attempts for transient failure kinds (timeout, crash,
+        cache-corrupt), with exponential backoff starting at the
+        profile's ``retry_backoff_s``. Default: the profile's
+        ``max_retries``. Memory-budget failures are deterministic and
+        never retried.
+    resume:
+        When True, a *cached* transient failure is re-executed instead
+        of being replayed from the store (cached successes and
+        memory-budget failures are still reused).
+    """
     options = {"memory_budget_bytes": profile.memory_budget_bytes}
     params: dict = {}
     if planned.algorithm == "diameter":
         params["n_hashes"] = profile.ad_n_hashes
-    key = (f"{profile.name}-{planned.algorithm}-"
-           f"{planned.spec.cache_key()}")
+    key = run_cache_key(planned, profile)
+    if timeout_s is None:
+        timeout_s = profile.run_timeout_s
+    if retries is None:
+        retries = profile.max_retries
 
     if store is not None:
-        cached = store.load(key)
+        cached = store.load(key)  # corrupt entries quarantine -> miss
         if cached is not None:
             return CorpusRun(planned.algorithm, planned.spec, cached,
-                             compute_metrics(cached))
-        reason = store.load_failure(key)
-        if reason is not None:
+                             compute_metrics(cached), source="cache")
+        prior = store.load_failure(key)
+        if prior is not None and not (resume and prior.retryable):
             return CorpusRun(planned.algorithm, planned.spec, None, None,
-                             failure=reason)
+                             failure=prior, source="cache")
 
-    try:
-        trace = run_computation(planned.algorithm, planned.spec,
-                                params=params, options=options)
-    except ResourceLimitError as exc:
-        reason = str(exc)
+    attempts = 0
+    backoff = profile.retry_backoff_s
+    while True:
+        attempts += 1
+        try:
+            trace = run_computation(planned.algorithm, planned.spec,
+                                    params=params, options=options,
+                                    timeout_s=timeout_s)
+        except Exception as exc:  # crash-isolation boundary
+            failure = RunFailure.from_exception(exc, attempts=attempts)
+            if failure.retryable and attempts <= retries:
+                time.sleep(backoff)
+                backoff *= 2
+                continue
+            if store is not None:
+                store.save_failure(key, failure)
+            return CorpusRun(planned.algorithm, planned.spec, None, None,
+                             failure=failure)
         if store is not None:
-            store.save_failure(key, reason)
+            store.save(key, trace)
+        return CorpusRun(planned.algorithm, planned.spec, trace,
+                         compute_metrics(trace))
+
+
+def _isolated_execute(
+    planned: PlannedRun,
+    profile: Profile,
+    store: "ResultStore | None",
+    timeout_s: "float | None",
+    retries: "int | None",
+    resume: bool,
+) -> CorpusRun:
+    """Run one cell, converting *any* escaping exception (store I/O,
+    metric computation, ...) into a recorded crash failure."""
+    try:
+        return execute_planned_run(planned, profile, store,
+                                   timeout_s=timeout_s, retries=retries,
+                                   resume=resume)
+    except Exception as exc:  # last-resort isolation
         return CorpusRun(planned.algorithm, planned.spec, None, None,
-                         failure=reason)
-    if store is not None:
-        store.save(key, trace)
-    return CorpusRun(planned.algorithm, planned.spec, trace,
-                     compute_metrics(trace))
+                         failure=RunFailure.from_exception(exc))
 
 
 def _worker_execute(payload: tuple) -> "CorpusRun":
     """Module-level worker for process pools (must be picklable)."""
-    planned, profile, store_root = payload
+    planned, profile, store_root, timeout_s, retries, resume = payload
     store = ResultStore(store_root) if store_root is not None else None
-    return execute_planned_run(planned, profile, store)
+    return _isolated_execute(planned, profile, store, timeout_s, retries,
+                             resume)
+
+
+def _progress_line(run: CorpusRun, done: int, total: int) -> str:
+    """One structured progress line per completed cell."""
+    head = f"[{done}/{total}] {run.algorithm}@{run.spec.label}:"
+    if run.ok:
+        line = f"{head} status=ok source={run.source}"
+        if run.source == "run":
+            line += f" t={run.trace.wall_time_s:.2f}s"
+        return line
+    failure = run.failure
+    return (f"{head} status=failed kind={failure.kind} "
+            f"attempts={failure.attempts} source={run.source}: "
+            f"{failure.message}")
 
 
 def build_corpus(
@@ -155,8 +254,19 @@ def build_corpus(
     use_cache: bool = True,
     progress: "Callable[[str], None] | None" = None,
     workers: int = 1,
+    timeout_s: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
+
+    The build is resilient by construction: every cell runs inside a
+    crash-isolation boundary, so a faulting (algorithm, graph) pair is
+    recorded as a structured :class:`~repro.experiments.failures.RunFailure`
+    while the remaining cells complete. Completed cells are checkpointed
+    through the store as they finish, which makes builds resumable — a
+    rerun after a crash (or with ``resume=True`` after recorded
+    transient failures) re-executes only the missing/failed cells.
 
     Parameters
     ----------
@@ -166,12 +276,15 @@ def build_corpus(
         Result cache; defaults to the standard on-disk store when
         ``use_cache`` is true.
     progress:
-        Optional callback receiving one line per completed run.
+        Optional callback receiving one structured line per completed
+        run (status, cache/run source, failure kind and attempts).
     workers:
         Number of worker processes. The 220 runs are independent, so
         they parallelize embarrassingly; each worker writes through the
-        shared on-disk store (atomic per-key replaces, distinct keys).
-        1 (default) runs inline.
+        shared on-disk store (atomic writer-unique temp files, hashed
+        per-key filenames). 1 (default) runs inline.
+    timeout_s, retries, resume:
+        Forwarded to :func:`execute_planned_run`.
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -182,8 +295,10 @@ def build_corpus(
     started = time.perf_counter()
     plan = matrix.corpus_runs()
 
+    executor = None
     if workers <= 1:
-        results = (execute_planned_run(planned, profile, store)
+        results = (_isolated_execute(planned, profile, store, timeout_s,
+                                     retries, resume)
                    for planned in plan)
     else:
         import concurrent.futures
@@ -191,21 +306,39 @@ def build_corpus(
         store_root = store.root if store is not None else None
         executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers)
-        payloads = [(planned, profile, store_root) for planned in plan]
-        results = executor.map(_worker_execute, payloads)
+        futures = [
+            executor.submit(_worker_execute,
+                            (planned, profile, store_root, timeout_s,
+                             retries, resume))
+            for planned in plan
+        ]
+
+        def _collect():
+            for planned, future in zip(plan, futures):
+                try:
+                    yield future.result()
+                except Exception as exc:  # pool-level fault (e.g.
+                    # BrokenProcessPool, unpicklable result): record it
+                    # against the cell instead of aborting the build.
+                    yield CorpusRun(planned.algorithm, planned.spec,
+                                    None, None,
+                                    failure=RunFailure.from_exception(exc))
+
+        results = _collect()
 
     try:
-        for planned, run in zip(plan, results):
+        total = len(plan)
+        for done, run in enumerate(results, start=1):
             if run.ok:
                 corpus.runs.append(run)
             else:
                 corpus.failures.append(run)
             if progress is not None:
-                status = "ok" if run.ok else "FAILED"
-                progress(f"{planned.algorithm}@{planned.spec.label}: "
-                         f"{status}")
+                progress(_progress_line(run, done, total))
     finally:
-        if workers > 1:
-            executor.shutdown()
+        if executor is not None:
+            # cancel_futures: an in-flight exception (or ^C) must not
+            # wait out the whole queued plan before surfacing.
+            executor.shutdown(cancel_futures=True)
     corpus.build_seconds = time.perf_counter() - started
     return corpus

@@ -1,0 +1,125 @@
+"""Structured failure taxonomy for corpus execution.
+
+The paper reports partial failure as a first-class outcome ("5 runs of
+AD with largest graph size failed"), and SoK-style audits of graph
+benchmarks show that harnesses which collapse every fault into one
+opaque string — or worse, abort the whole matrix — produce untrustworthy
+corpora. Every failed cell is therefore recorded as a
+:class:`RunFailure` with a machine-readable *kind*:
+
+``memory``
+    The run exceeded the engine memory budget
+    (:class:`~repro._util.errors.ResourceLimitError`). Deterministic and
+    *expected* — this is the paper's AD-at-largest-size failure mode —
+    so it is never retried and does not fail the build.
+``timeout``
+    The run exceeded its wall-clock limit
+    (:class:`~repro._util.errors.RunTimeoutError`). Possibly transient
+    (machine load), so eligible for retry.
+``crash``
+    Any other exception escaping the run. Isolated to its cell, recorded
+    with the full traceback, eligible for retry, and reported as an
+    *unexpected* failure (nonzero CLI exit).
+``cache-corrupt``
+    A result-store entry was corrupt and could not be quarantined
+    (:class:`~repro._util.errors.CacheCorruptError`). Ordinary
+    corruption never produces this: the store quarantines the bad file
+    and the runner silently re-executes the cell.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
+
+from repro._util.errors import (
+    CacheCorruptError,
+    ResourceLimitError,
+    RunTimeoutError,
+    ValidationError,
+)
+
+#: Every legal failure kind, in severity order.
+FAILURE_KINDS: tuple[str, ...] = ("memory", "timeout", "crash", "cache-corrupt")
+
+#: Kinds worth retrying (possibly transient). ``memory`` is excluded:
+#: the budget check is deterministic, so re-running cannot succeed.
+RETRYABLE_KINDS: frozenset = frozenset({"timeout", "crash", "cache-corrupt"})
+
+#: Kinds that are part of the reproduced experiment rather than harness
+#: faults; builds containing only these still exit 0.
+EXPECTED_KINDS: frozenset = frozenset({"memory"})
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an exception to its failure kind."""
+    if isinstance(exc, ResourceLimitError):
+        return "memory"
+    if isinstance(exc, RunTimeoutError):
+        return "timeout"
+    if isinstance(exc, CacheCorruptError):
+        return "cache-corrupt"
+    return "crash"
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One failed corpus cell: kind, message, raw traceback, attempts."""
+
+    kind: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValidationError(
+                f"unknown failure kind {self.kind!r}; "
+                f"expected one of {FAILURE_KINDS}"
+            )
+        if self.attempts < 1:
+            raise ValidationError("attempts must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_exception(cls, exc: BaseException, *,
+                       attempts: int = 1) -> "RunFailure":
+        """Classify ``exc`` and capture its traceback."""
+        return cls(
+            kind=classify_exception(exc),
+            message=str(exc) or type(exc).__name__,
+            traceback="".join(_traceback.format_exception(exc)),
+            attempts=attempts,
+        )
+
+    @property
+    def expected(self) -> bool:
+        """True for failures that are part of the reproduced experiment
+        (the paper's out-of-budget AD runs) rather than harness faults."""
+        return self.kind in EXPECTED_KINDS
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in RETRYABLE_KINDS
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "message": self.message,
+                "traceback": self.traceback, "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        """Build from a stored record; tolerates the legacy
+        ``{"reason": ...}`` format (which only ever recorded
+        memory-budget failures)."""
+        if "kind" not in data and "reason" in data:
+            return cls(kind="memory", message=str(data["reason"]))
+        return cls(
+            kind=str(data.get("kind", "crash")),
+            message=str(data.get("message", "unknown failure")),
+            traceback=str(data.get("traceback", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"

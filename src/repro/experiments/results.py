@@ -1,26 +1,50 @@
-"""On-disk result store for run traces.
+"""On-disk result store for run traces, hardened for multi-process use.
 
 Building the 215-run behavior corpus takes seconds at the smoke profile
 but minutes at the paper profile; every ensemble experiment (Figs 14-23,
 Table 3) consumes the same corpus. The store caches each
 :class:`~repro.behavior.trace.RunTrace` as one JSON file keyed by the
 run's cache key (algorithm, graph spec, seed, parameter overrides), and
-also remembers *failures* (the AD runs that exceed the memory budget)
-so they are not retried.
+also remembers *failures* (as structured
+:class:`~repro.experiments.failures.RunFailure` records) so expected
+failures are not retried.
+
+The corpus builder runs many worker processes against one store, so the
+layout is designed for concurrent writers:
+
+- **Atomic, collision-free writes** — each writer stages into its own
+  temp file (``<entry>.<pid>.<uuid>.tmp``) and publishes with
+  ``os.replace``; two processes writing the same key can never tear
+  each other's bytes, last-writer-wins.
+- **Collision-proof filenames** — the human-readable sanitized key is
+  suffixed with a short hash of the *raw* key, so distinct keys that
+  sanitize identically (``a@b`` vs ``a#b``) get distinct files.
+- **Quarantine, not silence** — an unreadable entry (truncated JSON, a
+  schema mismatch) is moved into ``<root>/quarantine/`` and the load
+  reports a miss, so the runner re-executes the cell instead of
+  silently consuming a corrupt trace. Only if that move itself fails
+  does the store raise :class:`~repro._util.errors.CacheCorruptError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 
-from repro._util.errors import ValidationError
+from repro._util.errors import CacheCorruptError, ValidationError
 from repro.behavior.trace import RunTrace
+from repro.experiments.failures import RunFailure
 
 #: Environment variable overriding the cache directory.
 CACHE_ENV = "REPRO_CACHE_DIR"
 _FAILED_MARKER = "__failed__"
+#: Subdirectory (under the store root) receiving corrupt entries.
+QUARANTINE_DIRNAME = "quarantine"
+#: Hex digits of the raw-key hash appended to every entry filename.
+_KEY_DIGEST_LEN = 10
 
 
 def default_cache_dir() -> Path:
@@ -31,7 +55,7 @@ def default_cache_dir() -> Path:
 
 
 class ResultStore:
-    """Directory-backed trace cache.
+    """Directory-backed trace cache safe for concurrent writers.
 
     Parameters
     ----------
@@ -43,68 +67,158 @@ class ResultStore:
     def __init__(self, root: "str | Path | None" = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
     def _path(self, key: str) -> Path:
+        """Entry path: sanitized key stem + short hash of the raw key.
+
+        The hash suffix makes distinct raw keys that sanitize to the
+        same stem (``@`` and ``#`` both become ``_``) land in distinct
+        files instead of silently loading each other's traces.
+        """
         safe = "".join(c if c.isalnum() or c in "-_.=" else "_" for c in key)
         if not safe:
             raise ValidationError("empty cache key")
-        return self.root / f"{safe}.json"
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.root / f"{safe}-{digest[:_KEY_DIGEST_LEN]}.json"
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Stage into a writer-unique temp file, publish via rename.
+
+        The temp name embeds pid + uuid so concurrent writers of the
+        same key never share a staging file (the old shared
+        ``path.with_suffix(".tmp")`` let two processes tear each
+        other's half-written bytes); ``os.replace`` keeps the publish
+        atomic on POSIX and Windows.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # publish failed; don't leave litter
+                tmp.unlink(missing_ok=True)
+
+    def quarantine(self, path: Path) -> "Path | None":
+        """Move a corrupt entry into the quarantine directory.
+
+        Returns the quarantined path, or None if the entry vanished
+        first (another process already quarantined or replaced it).
+        Raises :class:`CacheCorruptError` if the move itself fails, so
+        a permanently poisoned entry cannot cause an infinite
+        load-fail-reexecute loop.
+        """
+        qdir = self.quarantine_dir
+        dest = qdir / (f"{path.stem}.{os.getpid()}."
+                       f"{uuid.uuid4().hex[:8]}{path.suffix}")
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CacheCorruptError(
+                f"corrupt cache entry {path} could not be quarantined: {exc}"
+            ) from exc
+        return dest
 
     # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
     def load(self, key: str) -> "RunTrace | None":
-        """Return the cached trace, or None if absent/corrupt."""
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        if data.get(_FAILED_MARKER):
+        """Return the cached trace, or None if absent or failed.
+
+        Corrupt entries are quarantined and reported as a miss so the
+        caller re-executes the run.
+        """
+        data = self._read_entry(key)
+        if data is None or data.get(_FAILED_MARKER):
             return None
         try:
             return RunTrace.from_dict(data)
         except (TypeError, KeyError, ValidationError):
+            self.quarantine(self._path(key))
             return None
 
     def save(self, key: str, trace: RunTrace) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(trace.to_json(), encoding="utf-8")
-        tmp.replace(path)
+        self._write_atomic(self._path(key), trace.to_json())
 
     # ------------------------------------------------------------------
-    def load_failure(self, key: str) -> "str | None":
-        """Return the recorded failure reason for a key, if any."""
+    # Failures
+    # ------------------------------------------------------------------
+    def load_failure(self, key: str) -> "RunFailure | None":
+        """Return the recorded failure for a key, if any."""
+        data = self._read_entry(key)
+        if data is None or not data.get(_FAILED_MARKER):
+            return None
+        try:
+            return RunFailure.from_dict(data)
+        except (ValidationError, TypeError, ValueError):
+            self.quarantine(self._path(key))
+            return None
+
+    def save_failure(self, key: str, failure: "RunFailure | str") -> None:
+        if isinstance(failure, str):
+            failure = RunFailure(kind="crash", message=failure)
+        payload = {_FAILED_MARKER: True, **failure.to_dict()}
+        self._write_atomic(self._path(key), json.dumps(payload))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _read_entry(self, key: str) -> "dict | None":
+        """Read and parse one entry; quarantine it if unreadable."""
         path = self._path(key)
         if not path.exists():
             return None
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             return None
-        if data.get(_FAILED_MARKER):
-            return str(data.get("reason", "unknown failure"))
-        return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.quarantine(path)
+            return None
+        if not isinstance(data, dict):
+            self.quarantine(path)
+            return None
+        return data
 
-    def save_failure(self, key: str, reason: str) -> None:
+    def discard(self, key: str) -> bool:
+        """Remove one entry (used by ``--resume`` to force a failed
+        cell to re-execute); returns True if something was removed."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps({_FAILED_MARKER: True, "reason": reason}),
-                       encoding="utf-8")
-        tmp.replace(path)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
 
-    # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def n_quarantined(self) -> int:
+        """Number of corrupt entries sitting in quarantine."""
+        if not self.quarantine_dir.exists():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.glob("*.json*"))
+
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry (quarantine included); returns the
+        number of live entries removed."""
         if not self.root.exists():
             return 0
         removed = 0
         for path in self.root.glob("*.json"):
             path.unlink()
             removed += 1
+        if self.quarantine_dir.exists():
+            for path in self.quarantine_dir.glob("*.json*"):
+                path.unlink()
         return removed

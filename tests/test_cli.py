@@ -109,6 +109,57 @@ class TestCorpusAndDesign:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         return tmp_path
 
+    def test_corpus_smoke_roundtrip_workers2(self, capsys, tiny_cache):
+        """Cold multi-process build, then a resumed build that performs
+        zero re-executions — the full checkpoint/resume path."""
+        code, out, _err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--workers", "2",
+            "--progress")
+        assert code == 0  # only by-design memory failures
+        assert "status=ok source=run" in out
+        assert "kind=memory" in out  # AD over budget, structured line
+        assert "executed 220, cached 0" in out
+
+        code, out, _err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--workers", "2",
+            "--progress", "--resume")
+        assert code == 0
+        assert "executed 0, cached 220" in out
+        assert "source=run" not in out  # zero re-executions
+
+    def test_corpus_crash_exits_nonzero_then_resume_repairs(
+            self, capsys, tiny_cache, monkeypatch):
+        """Acceptance: an injected arbitrary exception in one cell is
+        recorded as kind=crash, the other cells complete, the summary
+        still prints, the exit code is nonzero — and --resume
+        re-executes only the failed cell."""
+        monkeypatch.setenv("REPRO_INJECT_CRASH", "cc-ga-ne300-a2.0")
+        code, out, err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--progress")
+        assert code == 3
+        assert "215 runs" not in out  # one extra failure: 214 ok
+        assert "status=failed kind=crash" in out
+        assert "FAILED cc@" in out  # summary still printed
+        assert "failed unexpectedly" in err
+        assert "--resume" in err
+
+        monkeypatch.delenv("REPRO_INJECT_CRASH")
+        code, out, _err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--progress",
+            "--resume")
+        assert code == 0
+        assert "executed 1, cached 219" in out
+        assert out.count("source=run") == 1  # only the crashed cell
+
+    def test_corpus_timeout_and_retries_flags_parse(self, capsys,
+                                                    tiny_cache):
+        # The flags thread through; a generous timeout changes nothing.
+        code, out, _err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--timeout", "300",
+            "--retries", "1")
+        assert code == 0
+        assert "215 runs" in out
+
     def test_design_on_smoke_subset(self, capsys, tiny_cache, monkeypatch):
         # Keep this cheap: design over two algorithms only; the corpus
         # itself is built at the smoke profile through the cache.

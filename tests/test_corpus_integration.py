@@ -74,9 +74,11 @@ class TestParallelBuild:
 
         store = ResultStore(tmp_path)
         first = build_corpus(MINI_PROFILE, store=store, workers=2)
+        assert first.n_executed == 220 and first.n_cached == 0
         # Second build hits only the cache — and must agree.
         second = build_corpus(MINI_PROFILE, store=store, workers=1)
         assert second.n_runs == first.n_runs
+        assert second.n_executed == 0 and second.n_cached == 220
         assert [r.tag for r in second.runs] == [r.tag for r in first.runs]
 
 
@@ -103,8 +105,15 @@ class TestCaching:
                    if p.spec.nedges == max(MINI_PROFILE.ga_sizes)][0]
         first = execute_planned_run(failing, MINI_PROFILE, store)
         assert not first.ok
+        assert first.failure.kind == "memory"
         second = execute_planned_run(failing, MINI_PROFILE, store)
-        assert not second.ok and second.failure
+        assert not second.ok and second.failure.kind == "memory"
+        assert second.source == "cache"
+        # Expected (memory) failures are never re-executed, even under
+        # --resume: the budget check is deterministic.
+        resumed = execute_planned_run(failing, MINI_PROFILE, store,
+                                      resume=True)
+        assert resumed.source == "cache"
 
 
 class TestEnsemblePipeline:

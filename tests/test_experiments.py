@@ -22,6 +22,7 @@ from repro.experiments.reporting import (
     format_table,
     sparkline,
 )
+from repro.experiments.failures import RunFailure
 from repro.experiments.results import ResultStore
 
 
@@ -124,15 +125,78 @@ class TestResultStore:
 
     def test_failure_marker(self, tmp_path):
         store = ResultStore(tmp_path)
-        store.save_failure("f1", "out of memory")
+        store.save_failure("f1", RunFailure(kind="memory",
+                                            message="out of memory"))
         assert store.load("f1") is None
-        assert store.load_failure("f1") == "out of memory"
+        failure = store.load_failure("f1")
+        assert failure.kind == "memory"
+        assert failure.message == "out of memory"
 
-    def test_corrupt_file_ignored(self, tmp_path):
+    def test_failure_roundtrip_preserves_taxonomy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        failure = RunFailure(kind="crash", message="boom",
+                             traceback="Traceback ...", attempts=3)
+        store.save_failure("f2", failure)
+        assert store.load_failure("f2") == failure
+
+    def test_legacy_failure_format_still_loads(self, tmp_path):
+        # Pre-taxonomy stores recorded {"reason": ...}; those were only
+        # ever memory-budget failures.
+        store = ResultStore(tmp_path)
+        store._write_atomic(store._path("old"),
+                            '{"__failed__": true, "reason": "too big"}')
+        failure = store.load_failure("old")
+        assert failure.kind == "memory" and failure.message == "too big"
+
+    def test_corrupt_file_quarantined_and_reported_missing(self, tmp_path):
         store = ResultStore(tmp_path)
         store.save("k1", self._trace())
         store._path("k1").write_text("{not json")
         assert store.load("k1") is None
+        # The corrupt entry was moved aside, not left to poison reloads.
+        assert not store.contains("k1")
+        assert store.n_quarantined() == 1
+
+    def test_corrupt_failure_record_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store._write_atomic(store._path("bad"),
+                            '{"__failed__": true, "kind": "not-a-kind"}')
+        assert store.load_failure("bad") is None
+        assert store.n_quarantined() == 1
+
+    def test_sanitization_collisions_get_distinct_paths(self, tmp_path):
+        # Regression: '@' and '#' both sanitize to '_'; without the raw-
+        # key hash suffix these two keys shared one file.
+        store = ResultStore(tmp_path)
+        assert store._path("a@b") != store._path("a#b")
+        store.save("a@b", self._trace())
+        assert store.load("a#b") is None
+        assert store.load("a@b") == self._trace()
+
+    def test_temp_names_are_writer_unique(self, tmp_path):
+        # Regression: save() used a shared path.with_suffix(".tmp"), so
+        # two processes writing one key could tear each other's bytes.
+        store = ResultStore(tmp_path)
+        # Concurrent same-key writers never corrupt the published entry
+        # and leave no staging litter behind.
+        import threading
+
+        trace = self._trace()
+        threads = [threading.Thread(target=store.save, args=("k1", trace))
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.load("k1") == trace
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_discard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("k1", self._trace())
+        assert store.discard("k1")
+        assert not store.contains("k1")
+        assert not store.discard("k1")
 
     def test_clear(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -140,6 +204,15 @@ class TestResultStore:
         store.save("b", self._trace())
         assert store.clear() == 2
         assert not store.contains("a")
+
+    def test_clear_empties_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a", self._trace())
+        store._path("a").write_text("garbage")
+        assert store.load("a") is None
+        assert store.n_quarantined() == 1
+        store.clear()
+        assert store.n_quarantined() == 0
 
     def test_empty_key_rejected(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -1,0 +1,286 @@
+"""Tests for the resilient corpus execution subsystem: the failure
+taxonomy, crash isolation, timeouts, retries, quarantine, and resume."""
+
+import time
+
+import pytest
+
+from repro._util.errors import (
+    CacheCorruptError,
+    ResourceLimitError,
+    RunTimeoutError,
+    ValidationError,
+)
+from repro._util.timing import wall_clock_limit
+from repro.behavior.run import INJECT_CRASH_ENV, INJECT_SLEEP_ENV
+from repro.experiments.config import ExperimentMatrix, Profile
+from repro.experiments.corpus import (
+    build_corpus,
+    execute_planned_run,
+    run_cache_key,
+)
+from repro.experiments.failures import (
+    EXPECTED_KINDS,
+    FAILURE_KINDS,
+    RETRYABLE_KINDS,
+    RunFailure,
+    classify_exception,
+)
+from repro.experiments.results import ResultStore
+
+#: Tiny two-size profile so resilience builds finish in a few seconds.
+TINY_PROFILE = Profile(
+    name="tiny",
+    ga_sizes=(200, 600),
+    cf_sizes=(80, 200),
+    matrix_rows=(30,),
+    grid_sides=(8,),
+    mrf_edges=(40,),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=1_000,
+    seed=11,
+    alphas=(2.0, 2.5),
+)
+
+#: Substring of the injected cell's run key (<alg>-<spec cache key>).
+CRASH_TARGET = "cc-ga-ne200-a2.0"
+
+
+def _planned(algorithm: str):
+    matrix = ExperimentMatrix(TINY_PROFILE)
+    return [p for p in matrix.corpus_runs() if p.algorithm == algorithm][0]
+
+
+class TestRunFailure:
+    def test_kinds_are_closed(self):
+        assert set(FAILURE_KINDS) == {"memory", "timeout", "crash",
+                                      "cache-corrupt"}
+        with pytest.raises(ValidationError):
+            RunFailure(kind="cosmic-ray", message="bit flip")
+
+    def test_classification(self):
+        assert classify_exception(ResourceLimitError("x")) == "memory"
+        assert classify_exception(RunTimeoutError("x")) == "timeout"
+        assert classify_exception(CacheCorruptError("x")) == "cache-corrupt"
+        assert classify_exception(ZeroDivisionError()) == "crash"
+
+    def test_from_exception_captures_traceback(self):
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            failure = RunFailure.from_exception(exc, attempts=2)
+        assert failure.kind == "crash"
+        assert failure.message == "boom"
+        assert "ValueError: boom" in failure.traceback
+        assert failure.attempts == 2
+
+    def test_expected_vs_retryable_partition(self):
+        assert EXPECTED_KINDS == {"memory"}
+        assert RETRYABLE_KINDS == {"timeout", "crash", "cache-corrupt"}
+        assert RunFailure(kind="memory", message="m").expected
+        assert not RunFailure(kind="crash", message="c").expected
+        assert RunFailure(kind="timeout", message="t").retryable
+
+    def test_dict_roundtrip(self):
+        failure = RunFailure(kind="timeout", message="slow",
+                             traceback="tb", attempts=4)
+        assert RunFailure.from_dict(failure.to_dict()) == failure
+
+
+class TestWallClockLimit:
+    def test_interrupts_a_sleeping_body(self):
+        with pytest.raises(RunTimeoutError):
+            with wall_clock_limit(0.05):
+                time.sleep(5)
+
+    def test_disabled_when_none_or_nonpositive(self):
+        with wall_clock_limit(None):
+            pass
+        with wall_clock_limit(0):
+            pass
+
+    def test_timer_cleared_after_fast_body(self):
+        with wall_clock_limit(0.05):
+            pass
+        time.sleep(0.1)  # the alarm must not fire after the block
+
+
+class TestCrashIsolation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_injected_crash_does_not_abort_build(self, tmp_path,
+                                                 monkeypatch, workers):
+        monkeypatch.setenv(INJECT_CRASH_ENV, CRASH_TARGET)
+        store = ResultStore(tmp_path)
+        corpus = build_corpus(TINY_PROFILE, store=store, workers=workers)
+        # Every other cell completed.
+        assert corpus.n_runs == len(
+            ExperimentMatrix(TINY_PROFILE).corpus_runs()) - 1
+        [failed] = corpus.failures
+        assert failed.algorithm == "cc"
+        assert failed.failure.kind == "crash"
+        assert "injected crash" in failed.failure.message
+        assert "RuntimeError" in failed.failure.traceback
+        assert corpus.unexpected_failures == [failed]
+
+    def test_memory_failures_are_expected(self, tmp_path):
+        profile = Profile(name="tiny-oom", ga_sizes=(200, 4_000),
+                          cf_sizes=(80,), matrix_rows=(30,),
+                          grid_sides=(8,), mrf_edges=(40,),
+                          memory_budget_bytes=1_400_000,
+                          coverage_samples=1_000, seed=11,
+                          alphas=(2.5,))
+        corpus = build_corpus(profile, store=ResultStore(tmp_path))
+        assert corpus.failures  # AD at the largest size goes over budget
+        assert all(f.failure.kind == "memory" for f in corpus.failures)
+        assert corpus.unexpected_failures == []
+
+
+class TestTimeoutsAndRetries:
+    def test_slow_run_records_timeout(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_SLEEP_ENV, "sssp-ga-ne200-a2.0:5")
+        run = execute_planned_run(_planned("sssp"), TINY_PROFILE,
+                                  ResultStore(tmp_path), timeout_s=0.2)
+        assert not run.ok
+        assert run.failure.kind == "timeout"
+        assert "wall-clock" in run.failure.message
+
+    def test_persistent_crash_exhausts_retries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_CRASH_ENV, CRASH_TARGET)
+        run = execute_planned_run(_planned("cc"), TINY_PROFILE,
+                                  ResultStore(tmp_path), retries=2)
+        assert run.failure.kind == "crash"
+        assert run.failure.attempts == 3
+
+    def test_transient_crash_succeeds_on_retry(self, tmp_path, monkeypatch):
+        # Fail exactly once, then hand execution back to the real runner.
+        import repro.experiments.corpus as corpus_mod
+        from repro.behavior.run import run_computation as real_run
+
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient I/O blip")
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(corpus_mod, "run_computation", flaky)
+        run = execute_planned_run(_planned("cc"), TINY_PROFILE,
+                                  ResultStore(tmp_path), retries=1)
+        assert run.ok
+        assert calls["n"] == 2
+
+    def test_memory_failure_is_never_retried(self, tmp_path, monkeypatch):
+        import repro.experiments.corpus as corpus_mod
+
+        calls = {"n": 0}
+
+        def always_oom(*args, **kwargs):
+            calls["n"] += 1
+            raise ResourceLimitError("over budget")
+
+        monkeypatch.setattr(corpus_mod, "run_computation", always_oom)
+        run = execute_planned_run(_planned("cc"), TINY_PROFILE,
+                                  ResultStore(tmp_path), retries=5)
+        assert run.failure.kind == "memory"
+        assert calls["n"] == 1
+
+
+class TestQuarantineAndResume:
+    def test_truncated_cache_entry_is_quarantined_and_reexecuted(
+            self, tmp_path):
+        store = ResultStore(tmp_path)
+        planned = _planned("cc")
+        first = execute_planned_run(planned, TINY_PROFILE, store)
+        assert first.ok and first.source == "run"
+        key = run_cache_key(planned, TINY_PROFILE)
+        store._path(key).write_text('{"algorithm": "cc", "trunc')
+        second = execute_planned_run(planned, TINY_PROFILE, store)
+        assert second.ok and second.source == "run"
+        assert store.n_quarantined() == 1
+        # The re-executed trace was re-cached and now loads cleanly.
+        third = execute_planned_run(planned, TINY_PROFILE, store)
+        assert third.ok and third.source == "cache"
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = build_corpus(TINY_PROFILE, store=store)
+        assert cold.n_executed == len(
+            ExperimentMatrix(TINY_PROFILE).corpus_runs())
+        resumed = build_corpus(TINY_PROFILE, store=store, resume=True)
+        assert resumed.n_executed == 0
+        assert resumed.n_cached == cold.n_executed
+        assert [r.tag for r in resumed.runs] == [r.tag for r in cold.runs]
+
+    def test_resume_reexecutes_only_the_failed_cell(self, tmp_path,
+                                                    monkeypatch):
+        store = ResultStore(tmp_path)
+        monkeypatch.setenv(INJECT_CRASH_ENV, CRASH_TARGET)
+        cold = build_corpus(TINY_PROFILE, store=store)
+        assert len(cold.unexpected_failures) == 1
+        monkeypatch.delenv(INJECT_CRASH_ENV)
+        resumed = build_corpus(TINY_PROFILE, store=store, resume=True)
+        assert resumed.n_executed == 1  # only the crashed cell
+        assert resumed.failures == []
+        assert resumed.n_runs == cold.n_runs + 1
+
+    def test_without_resume_cached_crash_is_replayed(self, tmp_path,
+                                                     monkeypatch):
+        store = ResultStore(tmp_path)
+        planned = _planned("cc")
+        monkeypatch.setenv(INJECT_CRASH_ENV, CRASH_TARGET)
+        execute_planned_run(planned, TINY_PROFILE, store)
+        monkeypatch.delenv(INJECT_CRASH_ENV)
+        replayed = execute_planned_run(planned, TINY_PROFILE, store)
+        assert not replayed.ok
+        assert replayed.source == "cache"
+        assert replayed.failure.kind == "crash"
+
+
+class TestProgressLines:
+    def test_structured_progress(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_CRASH_ENV, CRASH_TARGET)
+        lines: list = []
+        build_corpus(TINY_PROFILE, store=ResultStore(tmp_path),
+                     progress=lines.append)
+        total = len(ExperimentMatrix(TINY_PROFILE).corpus_runs())
+        assert len(lines) == total
+        assert lines[0].startswith("[1/")
+        failed = [l for l in lines if "status=failed" in l]
+        assert len(failed) == 1
+        assert "kind=crash" in failed[0] and "attempts=1" in failed[0]
+        ok = [l for l in lines if "status=ok" in l]
+        assert all("source=run" in l for l in ok)
+
+
+class TestEngineOptionValidation:
+    def test_workmodel_has_no_unit_scale(self):
+        from repro.engine.instrumentation import WorkModel
+
+        assert not hasattr(WorkModel(), "unit_scale")
+
+    def test_engine_options_validate_unit_scale(self):
+        from repro.engine.engine import EngineOptions
+
+        with pytest.raises(ValidationError):
+            EngineOptions(unit_scale=0.0)
+        with pytest.raises(ValidationError):
+            EngineOptions(unit_scale=-1e-9)
+        with pytest.raises(ValidationError):
+            EngineOptions(memory_budget_bytes=0)
+        EngineOptions(unit_scale=1e-6)  # valid
+
+    def test_profile_validates_resilience_knobs(self):
+        with pytest.raises(ValidationError):
+            Profile(name="bad", ga_sizes=(1,), cf_sizes=(1,),
+                    matrix_rows=(1,), grid_sides=(1,), mrf_edges=(1,),
+                    run_timeout_s=0.0)
+        with pytest.raises(ValidationError):
+            Profile(name="bad", ga_sizes=(1,), cf_sizes=(1,),
+                    matrix_rows=(1,), grid_sides=(1,), mrf_edges=(1,),
+                    max_retries=-1)
+        with pytest.raises(ValidationError):
+            Profile(name="bad", ga_sizes=(1,), cf_sizes=(1,),
+                    matrix_rows=(1,), grid_sides=(1,), mrf_edges=(1,),
+                    retry_backoff_s=-0.1)
