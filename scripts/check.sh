@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo health check: lint (when ruff is available) + tier-1 tests.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+#
+# The lint step is skipped with a notice when ruff is not installed —
+# the execution environment is offline and the test toolchain does not
+# bundle it. Install with `pip install ruff` where the network allows.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint (pip install ruff) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -3,8 +3,11 @@
 from repro._util.errors import (
     ConvergenceError,
     GraphConstructionError,
+    NonConvergenceError,
+    NumericError,
     ReproError,
     ResourceLimitError,
+    TraceInvariantError,
     ValidationError,
 )
 from repro._util.segments import (
@@ -19,9 +22,12 @@ __all__ = [
     "REDUCE_IDENTITY",
     "ConvergenceError",
     "GraphConstructionError",
+    "NonConvergenceError",
+    "NumericError",
     "ReproError",
     "ResourceLimitError",
     "Stopwatch",
+    "TraceInvariantError",
     "ValidationError",
     "concat_ranges",
     "segment_offsets",

@@ -41,6 +41,61 @@ class ConvergenceError(ReproError):
     """Raised when an algorithm that must converge fails to do so."""
 
 
+class NumericError(ReproError):
+    """Raised by the run-health numeric guard on non-finite state.
+
+    Iterative programs (Jacobi, LBP, SGD, ALS) can silently poison a
+    run with NaN — every behavior counter downstream of a NaN apply is
+    untrustworthy, yet the run would otherwise complete and enter the
+    corpus. The engines therefore scan program state at a configurable
+    cadence (see :mod:`repro.engine.health`) and raise this under the
+    ``strict`` health policy; the corpus runner classifies it as the
+    non-retryable ``"numeric"`` failure kind.
+    """
+
+    def __init__(self, message: str, *, iteration: int | None = None,
+                 detail: str = "") -> None:
+        super().__init__(message)
+        self.iteration = iteration
+        self.detail = detail
+
+
+class NonConvergenceError(ConvergenceError):
+    """Raised by a convergence watchdog on stall, oscillation, or divergence.
+
+    ``condition`` names the detected pathology:
+
+    - ``"stall"`` — frontier and program state recurred identically over
+      the watchdog window; a deterministic run can only repeat itself
+      until ``max_iterations``;
+    - ``"oscillation"`` — the (frontier, state) signature is periodic
+      with period ≥ 2 over the window;
+    - ``"divergence"`` — the magnitude of program state grew past the
+      configured divergence factor.
+
+    Classified as the non-retryable ``"nonconvergence"`` failure kind.
+    """
+
+    def __init__(self, message: str, *, condition: str = "stall",
+                 iteration: int | None = None, detail: str = "") -> None:
+        super().__init__(message)
+        self.condition = condition
+        self.iteration = iteration
+        self.detail = detail
+
+
+class TraceInvariantError(ValidationError):
+    """Raised when a completed trace violates a structural invariant.
+
+    Every engine's output must satisfy the invariants enforced by
+    :func:`repro.behavior.validate.validate_trace` (non-negative
+    counters, bounded active sets, contiguous iteration indices, ...).
+    A violation means the recorded observations are corrupt, so the
+    corpus runner classifies it — like a failed numeric guard — as the
+    non-retryable ``"numeric"`` failure kind.
+    """
+
+
 class RunTimeoutError(ReproError):
     """Raised when a run exceeds its configured wall-clock budget.
 

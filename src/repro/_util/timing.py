@@ -1,5 +1,6 @@
-"""Timing helpers: the engine's apply-phase stopwatch and the corpus
-runner's per-run wall-clock limit."""
+"""Timing helpers: the engine's apply-phase stopwatch, the corpus
+runner's per-run wall-clock limit, and the engines' cooperative
+deadline fallback."""
 
 from __future__ import annotations
 
@@ -7,13 +8,61 @@ import contextlib
 import signal
 import threading
 import time
+import warnings
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro._util.errors import RunTimeoutError
 
+#: Set once the degraded-enforcement warning has been issued, so a
+#: corpus of hundreds of runs warns exactly once per process.
+_WARNED_UNENFORCEABLE = False
+
+
+@dataclass
+class TimeoutEnforcement:
+    """What :func:`wall_clock_limit` could actually deliver.
+
+    ``enforced`` is False when a limit was requested but ``SIGALRM``
+    was unavailable (non-main thread, non-Unix platform); callers
+    record that in run metadata (``timeout_enforced``) so a corpus
+    built without hard timeouts is distinguishable from one with them.
+    """
+
+    requested_s: "float | None"
+    enforced: bool
+
+
+class Deadline:
+    """Cooperative wall-clock deadline checked inside engine loops.
+
+    Where ``SIGALRM`` cannot interrupt a run (non-main threads,
+    platforms without the signal), the engines fall back to calling
+    :meth:`check` once per iteration, so a timeout still bites —
+    at iteration granularity instead of instruction granularity.
+    A budget of None disables the deadline entirely.
+    """
+
+    __slots__ = ("budget_s", "_expires_at")
+
+    def __init__(self, budget_s: "float | None") -> None:
+        self.budget_s = budget_s
+        self._expires_at = (None if budget_s is None or budget_s <= 0
+                            else time.perf_counter() + budget_s)
+
+    def check(self) -> None:
+        """Raise :class:`RunTimeoutError` once the budget is spent."""
+        if (self._expires_at is not None
+                and time.perf_counter() > self._expires_at):
+            raise RunTimeoutError(
+                f"run exceeded its {self.budget_s:g}s wall-clock limit "
+                f"(cooperative per-iteration check)",
+                timeout_s=self.budget_s,
+            )
+
 
 @contextlib.contextmanager
-def wall_clock_limit(seconds: "float | None") -> Iterator[None]:
+def wall_clock_limit(seconds: "float | None") -> Iterator[TimeoutEnforcement]:
     """Raise :class:`RunTimeoutError` if the body runs longer than
     ``seconds`` of wall-clock time.
 
@@ -22,17 +71,30 @@ def wall_clock_limit(seconds: "float | None") -> Iterator[None]:
     That mechanism only exists on Unix and only works in a process's
     main thread — exactly where corpus runs execute, both inline and in
     :class:`~concurrent.futures.ProcessPoolExecutor` workers. Anywhere
-    else (Windows, a non-main thread) the limit degrades to a no-op
-    rather than failing the run.
+    else (Windows, a non-main thread) hard enforcement is impossible:
+    the context warns once per process, yields a
+    :class:`TimeoutEnforcement` with ``enforced=False`` so callers can
+    record the degradation, and relies on the engines' cooperative
+    :class:`Deadline` checks as the fallback.
 
     ``seconds`` of ``None`` or ``<= 0`` disables the limit.
     """
+    global _WARNED_UNENFORCEABLE
     if seconds is None or seconds <= 0:
-        yield
+        yield TimeoutEnforcement(requested_s=seconds, enforced=False)
         return
     if (not hasattr(signal, "SIGALRM")
             or threading.current_thread() is not threading.main_thread()):
-        yield
+        if not _WARNED_UNENFORCEABLE:
+            _WARNED_UNENFORCEABLE = True
+            warnings.warn(
+                "wall-clock limits cannot be signal-enforced here "
+                "(SIGALRM unavailable or non-main thread); relying on "
+                "the engines' cooperative per-iteration deadline checks",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        yield TimeoutEnforcement(requested_s=seconds, enforced=False)
         return
 
     def _on_alarm(signum, frame):  # pragma: no cover - signal context
@@ -44,7 +106,7 @@ def wall_clock_limit(seconds: "float | None") -> Iterator[None]:
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        yield TimeoutEnforcement(requested_s=seconds, enforced=True)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)

@@ -18,8 +18,11 @@ from repro.behavior.temporal import (
     temporal_corpus,
 )
 from repro.behavior.trace import IterationRecord, RunTrace
+from repro.behavior.validate import ENGINE_NAMES, validate_trace
 
 __all__ = [
+    "ENGINE_NAMES",
+    "validate_trace",
     "ActivityShape",
     "TemporalBehavior",
     "TraceDiff",

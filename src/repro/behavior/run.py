@@ -84,6 +84,12 @@ INJECT_CRASH_ENV = "REPRO_INJECT_CRASH"
 #: Value format: ``<substring>:<seconds>`` — the matching run sleeps
 #: that long before executing (drives the wall-clock timeout path).
 INJECT_SLEEP_ENV = "REPRO_INJECT_SLEEP"
+#: Value format: ``<substring>:<kind>@<iteration>`` — the matching run
+#: gets an *engine-level* fault plan (``nan``, ``diverge`` or
+#: ``counter``, see :class:`~repro.engine.health.FaultPlan`) injected
+#: into its engine options, so the health guards and the trace
+#: validator can be exercised on otherwise-correct algorithms.
+INJECT_ENGINE_FAULT_ENV = "REPRO_INJECT_ENGINE_FAULT"
 
 
 def _maybe_inject_fault(run_key: str) -> None:
@@ -95,6 +101,16 @@ def _maybe_inject_fault(run_key: str) -> None:
         substring, _, seconds = sleep_spec.rpartition(":")
         if substring and substring in run_key:
             time.sleep(float(seconds))
+
+
+def _engine_fault_for(run_key: str) -> "str | None":
+    """Return the ``kind@iteration`` fault plan targeted at this run."""
+    spec = os.environ.get(INJECT_ENGINE_FAULT_ENV)
+    if spec and ":" in spec:
+        substring, _, plan = spec.rpartition(":")
+        if substring and substring in run_key:
+            return plan
+    return None
 
 
 def run_computation(
@@ -134,9 +150,11 @@ def run_computation(
         If the run exceeds ``timeout_s`` of wall-clock time.
     """
     record = info(algorithm)
-    with wall_clock_limit(timeout_s):
+    merged_options = dict(options or {})
+    with wall_clock_limit(timeout_s) as enforcement:
         if isinstance(spec_or_problem, ProblemInstance):
             problem = spec_or_problem
+            run_key = algorithm
         elif isinstance(spec_or_problem, GraphSpec):
             run_key = f"{algorithm}-{spec_or_problem.cache_key()}"
             _maybe_inject_fault(run_key)
@@ -151,6 +169,18 @@ def run_computation(
                 f"algorithm {algorithm!r} consumes domain {record.domain!r} "
                 f"inputs but got {problem.domain!r}"
             )
+        fault = _engine_fault_for(run_key)
+        if fault is not None and "inject_fault" not in merged_options:
+            merged_options["inject_fault"] = fault
+        if (timeout_s and not enforcement.enforced
+                and "wall_clock_budget_s" not in merged_options):
+            # SIGALRM cannot bite here; fall back to the engine's
+            # cooperative per-iteration deadline.
+            merged_options["wall_clock_budget_s"] = timeout_s
         program = create(algorithm, **(params or {}))
-        engine = SynchronousEngine(build_engine_options(algorithm, options))
-        return engine.run(program, problem)
+        engine = SynchronousEngine(
+            build_engine_options(algorithm, merged_options))
+        trace = engine.run(program, problem)
+        trace.meta["timeout_requested_s"] = timeout_s
+        trace.meta["timeout_enforced"] = enforcement.enforced
+        return trace

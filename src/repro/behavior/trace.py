@@ -57,6 +57,23 @@ class RunTrace:
         ``"measured"`` or ``"unit"`` — how WORK was produced.
     wall_time_s:
         Total wall-clock time of the run.
+    engine:
+        Which engine produced the trace (``"synchronous"``,
+        ``"asynchronous"``, ``"edge-centric"``, ``"graph-centric"``);
+        trace invariants are engine-specific (see
+        :func:`repro.behavior.validate.validate_trace`).
+    degraded:
+        True if a convergence watchdog or numeric guard stopped the run
+        early under the ``degrade`` health policy; the trace is then a
+        flagged *partial* observation (and is excluded from ensemble
+        search).
+    health:
+        The health verdict for degraded runs — ``condition``
+        (stall/oscillation/divergence/numeric), ``iteration``,
+        ``detail``, ``policy``. Empty for healthy runs.
+    meta:
+        Harness metadata about how the run was executed (e.g.
+        ``timeout_enforced``); never part of behavior analysis.
     """
 
     algorithm: str
@@ -70,6 +87,10 @@ class RunTrace:
     result: dict[str, Any] = field(default_factory=dict)
     work_model: str = "unit"
     wall_time_s: float = 0.0
+    engine: str = "synchronous"
+    degraded: bool = False
+    health: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived series
@@ -125,6 +146,11 @@ class RunTrace:
             f"messages={self.mean('messages'):.1f} "
             f"work={self.mean('work'):.3g} ({self.work_model})",
         ]
+        if self.degraded:
+            lines.append(
+                f"  DEGRADED: {self.health.get('condition', '?')} at "
+                f"iteration {self.health.get('iteration', '?')} — "
+                f"{self.health.get('detail', '')}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

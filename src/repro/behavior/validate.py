@@ -1,0 +1,124 @@
+"""Structural validation of run traces.
+
+The GAP Benchmark Suite treats output verification as a first-class
+benchmark component; this module is the trace-level analog. Every
+engine, whatever its execution model, must emit observations satisfying
+a small set of structural invariants — a trace that violates them is
+corrupt (an engine bug, an injected counter fault, a torn cache entry
+that slipped past JSON parsing) and must never enter the behavior
+corpus. The corpus builder therefore runs :func:`validate_trace` on
+every completed trace; a violation raises
+:class:`~repro._util.errors.TraceInvariantError`, which the failure
+taxonomy classifies as the non-retryable ``"numeric"`` kind.
+
+Invariants
+----------
+Trace-level:
+
+- ``n_vertices``/``n_edges`` non-negative, ``work_model`` legal,
+  ``engine`` a known engine name, ``stop_reason`` non-empty;
+- iteration indices contiguous from 0 (monotonic by construction);
+- ``degraded`` traces carry a health verdict and are never
+  ``converged``; healthy traces carry none.
+
+Per-iteration (engine-aware — the execution models count differently):
+
+- every counter non-negative; WORK finite;
+- ``active``/``updates`` bounded by ``n_vertices`` per iteration —
+  except the graph-centric engine, whose supersteps count inner sweeps
+  (one vertex may apply many times per superstep);
+- ``edge_reads``/``messages`` bounded by the arc count (``2·n_edges``
+  covers both directed arc lists and symmetrized undirected storage),
+  scaled by the per-iteration update count for the engines that may
+  touch a vertex's edges more than once per record (asynchronous
+  rounds, graph-centric sweeps). These are necessarily *relaxations* of
+  the true frontier-degree-sum bounds — the trace no longer has the
+  graph — but they reject sign corruption and order-of-magnitude
+  nonsense.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import TraceInvariantError
+from repro.behavior.trace import RunTrace
+
+import numpy as np
+
+#: Engines whose per-record update count can exceed ``n_vertices``
+#: (inner sweeps are folded into one superstep record).
+_MULTI_SWEEP_ENGINES = frozenset({"graph-centric"})
+
+#: Engines that may gather/scatter a vertex's edges more than once per
+#: record (re-signaled vertices within an asynchronous round, inner
+#: sweeps within a graph-centric superstep).
+_MULTI_VISIT_ENGINES = frozenset({"asynchronous", "graph-centric"})
+
+#: Known engine names a trace may carry.
+ENGINE_NAMES: tuple[str, ...] = (
+    "synchronous", "asynchronous", "edge-centric", "graph-centric",
+)
+
+_WORK_MODELS = ("unit", "measured")
+
+
+def _fail(trace: RunTrace, message: str) -> None:
+    raise TraceInvariantError(
+        f"invalid trace for {trace.algorithm}@{trace.domain}: {message}")
+
+
+def validate_trace(trace: RunTrace) -> RunTrace:
+    """Check every structural invariant; returns the trace for chaining.
+
+    Raises
+    ------
+    TraceInvariantError
+        On the first violated invariant, with the offending iteration
+        and counter named in the message.
+    """
+    if trace.n_vertices < 0 or trace.n_edges < 0:
+        _fail(trace, f"negative graph size |V|={trace.n_vertices} "
+                     f"|E|={trace.n_edges}")
+    if trace.work_model not in _WORK_MODELS:
+        _fail(trace, f"unknown work model {trace.work_model!r}")
+    if trace.engine not in ENGINE_NAMES:
+        _fail(trace, f"unknown engine {trace.engine!r}")
+    if not trace.stop_reason:
+        _fail(trace, "empty stop_reason")
+
+    if trace.degraded:
+        if trace.converged:
+            _fail(trace, "degraded trace claims convergence")
+        if not trace.health.get("condition"):
+            _fail(trace, "degraded trace carries no health condition")
+    elif trace.health.get("condition"):
+        _fail(trace, "healthy trace carries a health condition "
+                     f"({trace.health['condition']!r})")
+
+    arc_bound = 2 * trace.n_edges
+    multi_sweep = trace.engine in _MULTI_SWEEP_ENGINES
+    multi_visit = trace.engine in _MULTI_VISIT_ENGINES
+    for position, rec in enumerate(trace.iterations):
+        where = f"iteration record {position}"
+        if rec.iteration != position:
+            _fail(trace, f"{where}: non-contiguous index {rec.iteration}")
+        for counter in ("active", "updates", "edge_reads", "messages"):
+            if getattr(rec, counter) < 0:
+                _fail(trace, f"{where}: negative {counter} "
+                             f"({getattr(rec, counter)})")
+        if not np.isfinite(rec.work) or rec.work < 0:
+            _fail(trace, f"{where}: work is {rec.work!r}")
+        if not multi_sweep:
+            if rec.active > trace.n_vertices:
+                _fail(trace, f"{where}: active {rec.active} exceeds "
+                             f"|V|={trace.n_vertices}")
+            if rec.updates > trace.n_vertices:
+                _fail(trace, f"{where}: updates {rec.updates} exceeds "
+                             f"|V|={trace.n_vertices}")
+        visit_scale = max(rec.updates, 1) if multi_visit else 1
+        if rec.edge_reads > arc_bound * visit_scale:
+            _fail(trace, f"{where}: edge_reads {rec.edge_reads} exceeds "
+                         f"the arc bound {arc_bound * visit_scale}")
+        if rec.messages > arc_bound * visit_scale:
+            _fail(trace, f"{where}: messages {rec.messages} exceeds "
+                         f"the arc bound {arc_bound * visit_scale}")
+    return trace

@@ -50,6 +50,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--work-model", choices=("unit", "measured"),
                      default="unit")
     run.add_argument("--max-iterations", type=int, default=None)
+    run.add_argument("--health-policy", choices=("strict", "degrade", "off"),
+                     default=None,
+                     help="convergence-watchdog policy: strict raises, "
+                          "degrade stops early with a flagged partial "
+                          "trace, off disables (default: strict)")
+    run.add_argument("--health-check-every", type=int, default=None,
+                     metavar="N", help="run health checks every N "
+                                       "iterations (default: 1)")
+    run.add_argument("--inject-fault", default=None, metavar="KIND@ITER",
+                     help="engine-level fault injection for testing: "
+                          "nan@3, diverge@2 or counter@1")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write the full trace as JSON")
 
@@ -78,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="re-execute cells with recorded transient "
                           "failures (crash/timeout); cached successes and "
                           "memory-budget failures are reused")
+    cor.add_argument("--health-policy",
+                     choices=("strict", "degrade", "off"), default=None,
+                     help="per-run convergence-watchdog policy "
+                          "(default: strict)")
+    cor.add_argument("--health-check-every", type=int, default=None,
+                     metavar="N",
+                     help="run health checks every N iterations "
+                          "(default: 1)")
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -141,6 +160,12 @@ def _cmd_run(args) -> int:
     options: dict = {"mode": args.mode, "work_model": args.work_model}
     if args.max_iterations is not None:
         options["max_iterations"] = args.max_iterations
+    if args.health_policy is not None:
+        options["health_policy"] = args.health_policy
+    if args.health_check_every is not None:
+        options["health_check_every"] = args.health_check_every
+    if args.inject_fault is not None:
+        options["inject_fault"] = args.inject_fault
     trace = run_computation(args.algorithm, _spec_for(args, domain),
                             options=options)
     print(trace.summary())
@@ -188,20 +213,27 @@ EXIT_UNEXPECTED_FAILURES = 3
 
 def _cmd_corpus(args) -> int:
     from repro.experiments.corpus import build_corpus
+    from repro.experiments.failures import RETRYABLE_KINDS
 
     progress = (lambda line: print(f"  {line}")) if args.progress else None
     corpus = build_corpus(args.profile, use_cache=not args.no_cache,
                           progress=progress, workers=args.workers,
                           timeout_s=args.timeout, retries=args.retries,
-                          resume=args.resume)
+                          resume=args.resume,
+                          health_policy=args.health_policy,
+                          health_check_every=args.health_check_every)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
     unexpected = corpus.unexpected_failures
     if unexpected:
+        kinds = sorted({f.failure.kind for f in unexpected})
+        if any(k in RETRYABLE_KINDS for k in kinds):
+            hint = "rerun with --resume to re-execute them"
+        else:
+            hint = ("deterministic kinds are not retried; rerun with "
+                    "--no-cache after fixing the cause")
         print(f"error: {len(unexpected)} run(s) failed unexpectedly "
-              f"(kinds: "
-              f"{sorted({f.failure.kind for f in unexpected})}); "
-              f"rerun with --resume to re-execute them", file=sys.stderr)
+              f"(kinds: {kinds}); {hint}", file=sys.stderr)
         return EXIT_UNEXPECTED_FAILURES
     return 0
 

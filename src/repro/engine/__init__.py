@@ -19,6 +19,16 @@ from repro.engine.context import Context
 from repro.engine.edge_centric import EdgeCentricEngine, EdgeCentricOptions
 from repro.engine.engine import EngineOptions, SynchronousEngine
 from repro.engine.graph_centric import GraphCentricEngine, GraphCentricOptions
+from repro.engine.health import (
+    FAULT_KINDS,
+    HEALTH_POLICIES,
+    FaultPlan,
+    HealthMonitor,
+    HealthVerdict,
+    build_monitor,
+    mark_degraded,
+    validate_health_options,
+)
 from repro.engine.instrumentation import Counters
 from repro.engine.program import Direction, VertexProgram
 
@@ -27,12 +37,20 @@ __all__ = [
     "AsynchronousEngine",
     "EdgeCentricEngine",
     "EdgeCentricOptions",
+    "FAULT_KINDS",
+    "FaultPlan",
     "GraphCentricEngine",
     "GraphCentricOptions",
+    "HEALTH_POLICIES",
+    "HealthMonitor",
+    "HealthVerdict",
     "Context",
     "Counters",
     "Direction",
     "EngineOptions",
     "SynchronousEngine",
     "VertexProgram",
+    "build_monitor",
+    "mark_degraded",
+    "validate_health_options",
 ]

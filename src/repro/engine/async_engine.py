@@ -44,8 +44,14 @@ import numpy as np
 
 from repro._util.errors import ResourceLimitError, ValidationError
 from repro._util.segments import REDUCE_IDENTITY, segmented_reduce
+from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
 from repro.engine.context import Context
+from repro.engine.health import (
+    build_monitor,
+    mark_degraded,
+    validate_health_options,
+)
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
 
@@ -66,6 +72,14 @@ class AsyncEngineOptions:
     memory_budget_bytes: int = 4 << 30
     params: dict[str, Any] = field(default_factory=dict)
     seed: int = 0
+    #: Run-health knobs (see :class:`repro.engine.engine.EngineOptions`);
+    #: checks run at *round* granularity here.
+    health_policy: str = "strict"
+    health_check_every: int = 1
+    health_window: int = 20
+    inject_fault: "str | None" = None
+    #: Cooperative wall-clock budget, checked once per round.
+    wall_clock_budget_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -77,6 +91,12 @@ class AsyncEngineOptions:
             raise ValidationError("work_model must be 'unit' or 'measured'")
         if self.max_steps < 1:
             raise ValidationError("max_steps must be >= 1")
+        validate_health_options(self.health_policy, self.health_check_every,
+                                self.health_window)
+        if (self.wall_clock_budget_s is not None
+                and self.wall_clock_budget_s <= 0):
+            raise ValidationError(
+                "wall_clock_budget_s must be positive or None")
 
 
 class _FifoScheduler:
@@ -172,7 +192,10 @@ class AsynchronousEngine:
             n_vertices=graph.n_vertices,
             n_edges=graph.n_edges,
             work_model=opts.work_model,
+            engine="asynchronous",
         )
+        monitor = build_monitor(opts)
+        deadline = Deadline(opts.wall_clock_budget_s)
 
         g_ptr, g_idx, g_eid = self._adjacency(graph, program.gather_dir)
         s_ptr, s_idx, s_eid = self._adjacency(graph, program.scatter_dir)
@@ -187,6 +210,8 @@ class AsynchronousEngine:
         while len(scheduler):
             if steps >= opts.max_steps:
                 break
+            if steps % 256 == 0:
+                deadline.check()
             v = scheduler.pop()
             reads, msgs, work = self._step(
                 program, ctx, v, g_ptr, g_idx, g_eid, s_ptr, s_idx, s_eid,
@@ -199,6 +224,9 @@ class AsynchronousEngine:
             if round_steps == graph.n_vertices or not len(scheduler):
                 ctx.iteration = round_index
                 program.on_iteration_end(ctx)
+                monitor.inject_state_fault(program, round_index)
+                round_reads = monitor.inject_edge_reads(
+                    round_reads, round_index)
                 trace.iterations.append(IterationRecord(
                     iteration=round_index,
                     active=round_steps,
@@ -207,9 +235,22 @@ class AsynchronousEngine:
                     messages=round_msgs,
                     work=round_work,
                 ))
+                # No frontier in the async signature: a round is an
+                # arbitrary |V|-step slice of the scheduler churn, so
+                # its vertex set varies even when the computation makes
+                # no progress. The state arrays capture all progress.
+                verdict = monitor.observe(
+                    program,
+                    iteration=round_index,
+                    frontier=None,
+                    work=round_work,
+                )
                 round_index += 1
                 round_steps = round_reads = round_msgs = 0
                 round_work = 0.0
+                if verdict is not None:
+                    mark_degraded(trace, verdict)
+                    break
                 if program.converged(ctx):
                     stop_reason = "converged"
                     trace.converged = True
@@ -225,7 +266,8 @@ class AsynchronousEngine:
                 messages=round_msgs, work=round_work,
             ))
 
-        trace.stop_reason = stop_reason
+        if not trace.degraded:
+            trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
         trace.wall_time_s = time.perf_counter() - started
         return trace

@@ -8,6 +8,7 @@ unit work model.
 
 from __future__ import annotations
 
+import copy
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -46,7 +47,11 @@ class Context:
     ) -> None:
         self.problem = problem
         self.iteration: int = 0
-        self.params: dict[str, Any] = dict(params or {})
+        # Deep copy: programs may mutate params (including nested
+        # containers), and the caller's dict is typically the long-lived
+        # EngineOptions.params reused across retries and runs — a
+        # shallow copy would leak one run's mutations into the next.
+        self.params: dict[str, Any] = copy.deepcopy(dict(params or {}))
         self._seed = int(seed)
         self.rng = make_rng(seed, "run")
         self._extra_work: float = 0.0

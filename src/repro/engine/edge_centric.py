@@ -34,8 +34,14 @@ from typing import Any
 import numpy as np
 
 from repro._util.errors import ValidationError
+from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
 from repro.engine.context import Context
+from repro.engine.health import (
+    build_monitor,
+    mark_degraded,
+    validate_health_options,
+)
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
 
@@ -54,10 +60,23 @@ class EdgeCentricOptions:
     unit_scale: float = 1e-9
     params: dict[str, Any] = field(default_factory=dict)
     seed: int = 0
+    #: Run-health knobs (see :class:`repro.engine.engine.EngineOptions`).
+    health_policy: str = "strict"
+    health_check_every: int = 1
+    health_window: int = 20
+    inject_fault: "str | None" = None
+    #: Cooperative wall-clock budget, checked once per iteration.
+    wall_clock_budget_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValidationError("max_iterations must be >= 1")
+        validate_health_options(self.health_policy, self.health_check_every,
+                                self.health_window)
+        if (self.wall_clock_budget_s is not None
+                and self.wall_clock_budget_s <= 0):
+            raise ValidationError(
+                "wall_clock_budget_s must be positive or None")
 
 
 class EdgeCentricEngine:
@@ -104,7 +123,10 @@ class EdgeCentricEngine:
             n_vertices=graph.n_vertices,
             n_edges=graph.n_edges,
             work_model="unit",
+            engine="edge-centric",
         )
+        monitor = build_monitor(opts)
+        deadline = Deadline(opts.wall_clock_budget_s)
 
         from repro._util.segments import REDUCE_IDENTITY
 
@@ -119,6 +141,7 @@ class EdgeCentricEngine:
         source_live = np.zeros(graph.n_vertices, dtype=bool)
         source_live[frontier] = True
         for iteration in range(opts.max_iterations):
+            deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
                 trace.converged = True
@@ -159,6 +182,8 @@ class EdgeCentricEngine:
             source_live[np.unique(center[mask])] = True
 
             program.on_iteration_end(ctx)
+            monitor.inject_state_fault(program, iteration)
+            edge_reads = monitor.inject_edge_reads(edge_reads, iteration)
             extra = ctx.drain_extra_work()
             work = (program.apply_flops_per_vertex * frontier.size
                     + extra) * opts.unit_scale
@@ -170,6 +195,11 @@ class EdgeCentricEngine:
                 messages=int(mask.sum()),
                 work=work,
             ))
+            verdict = monitor.observe(program, iteration=iteration,
+                                      frontier=frontier, work=work)
+            if verdict is not None:
+                mark_degraded(trace, verdict)
+                break
             frontier = np.unique(np.asarray(
                 program.select_next_frontier(ctx, signaled),
                 dtype=np.int64))
@@ -178,7 +208,8 @@ class EdgeCentricEngine:
                 trace.converged = True
                 break
 
-        trace.stop_reason = stop_reason
+        if not trace.degraded:
+            trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
         trace.wall_time_s = time.perf_counter() - started
         return trace

@@ -36,9 +36,14 @@ import numpy as np
 
 from repro._util.errors import ResourceLimitError, ValidationError
 from repro._util.segments import concat_ranges, segmented_reduce
-from repro._util.timing import Stopwatch
+from repro._util.timing import Deadline, Stopwatch
 from repro.behavior.trace import IterationRecord, RunTrace
 from repro.engine.context import Context
+from repro.engine.health import (
+    build_monitor,
+    mark_degraded,
+    validate_health_options,
+)
 from repro.engine.instrumentation import Counters, WorkModel
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
@@ -62,6 +67,19 @@ class EngineOptions:
     params: dict[str, Any] = field(default_factory=dict)
     #: Seed for the run-scoped RNG (stochastic programs only).
     seed: int = 0
+    #: Run-health policy: ``"strict"`` (raise on detected pathologies),
+    #: ``"degrade"`` (stop early, flag the trace), or ``"off"``.
+    health_policy: str = "strict"
+    #: Cadence, in iterations, of numeric guard + watchdog checks.
+    health_check_every: int = 1
+    #: Recurrence window (in checks) for the stall/oscillation watchdogs.
+    health_window: int = 20
+    #: Fault-injection spec (``"nan@3"``, ``"diverge@2"``, ``"counter@1"``)
+    #: for exercising the health path; None in production.
+    inject_fault: "str | None" = None
+    #: Cooperative wall-clock budget checked once per iteration — the
+    #: timeout fallback where SIGALRM cannot enforce one. None disables.
+    wall_clock_budget_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("vectorized", "reference"):
@@ -75,6 +93,12 @@ class EngineOptions:
             raise ValidationError("unit_scale must be positive")
         if self.memory_budget_bytes < 1:
             raise ValidationError("memory_budget_bytes must be >= 1")
+        validate_health_options(self.health_policy, self.health_check_every,
+                                self.health_window)
+        if (self.wall_clock_budget_s is not None
+                and self.wall_clock_budget_s <= 0):
+            raise ValidationError(
+                "wall_clock_budget_s must be positive or None")
 
 
 class SynchronousEngine:
@@ -121,16 +145,24 @@ class SynchronousEngine:
             n_vertices=graph.n_vertices,
             n_edges=graph.n_edges,
             work_model=opts.work_model,
+            engine="synchronous",
         )
 
+        monitor = build_monitor(opts)
+        deadline = Deadline(opts.wall_clock_budget_s)
         stop_reason = "max-iterations"
         for iteration in range(opts.max_iterations):
+            deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
                 trace.converged = True
                 break
             ctx.iteration = iteration
+            active = frontier
             counters, frontier = self._iterate(program, ctx, frontier)
+            monitor.inject_state_fault(program, iteration)
+            counters.edge_reads = monitor.inject_edge_reads(
+                counters.edge_reads, iteration)
             trace.iterations.append(IterationRecord(
                 iteration=iteration,
                 active=counters.active,
@@ -139,12 +171,18 @@ class SynchronousEngine:
                 messages=counters.messages,
                 work=counters.work,
             ))
+            verdict = monitor.observe(program, iteration=iteration,
+                                      frontier=active, work=counters.work)
+            if verdict is not None:
+                mark_degraded(trace, verdict)
+                break
             if program.converged(ctx):
                 stop_reason = "converged"
                 trace.converged = True
                 break
 
-        trace.stop_reason = stop_reason
+        if not trace.degraded:
+            trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
         trace.wall_time_s = time.perf_counter() - started
         return trace

@@ -34,8 +34,14 @@ import numpy as np
 
 from repro._util.errors import ValidationError
 from repro._util.segments import REDUCE_IDENTITY, concat_ranges, segmented_reduce
+from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
 from repro.engine.context import Context
+from repro.engine.health import (
+    build_monitor,
+    mark_degraded,
+    validate_health_options,
+)
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
 
@@ -52,12 +58,26 @@ class GraphCentricOptions:
     unit_scale: float = 1e-9
     params: dict[str, Any] = field(default_factory=dict)
     seed: int = 0
+    #: Run-health knobs (see :class:`repro.engine.engine.EngineOptions`);
+    #: checks run at *superstep* granularity here.
+    health_policy: str = "strict"
+    health_check_every: int = 1
+    health_window: int = 20
+    inject_fault: "str | None" = None
+    #: Cooperative wall-clock budget, checked once per superstep.
+    wall_clock_budget_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.n_partitions < 1:
             raise ValidationError("n_partitions must be >= 1")
         if self.max_supersteps < 1 or self.max_inner_sweeps < 1:
             raise ValidationError("iteration caps must be >= 1")
+        validate_health_options(self.health_policy, self.health_check_every,
+                                self.health_window)
+        if (self.wall_clock_budget_s is not None
+                and self.wall_clock_budget_s <= 0):
+            raise ValidationError(
+                "wall_clock_budget_s must be positive or None")
 
 
 class GraphCentricEngine:
@@ -94,11 +114,15 @@ class GraphCentricEngine:
             n_vertices=graph.n_vertices,
             n_edges=graph.n_edges,
             work_model="unit",
+            engine="graph-centric",
         )
+        monitor = build_monitor(opts)
+        deadline = Deadline(opts.wall_clock_budget_s)
 
         identity = REDUCE_IDENTITY[program.gather_op]
         stop_reason = "max-supersteps"
         for superstep in range(opts.max_supersteps):
+            deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
                 trace.converged = True
@@ -157,6 +181,8 @@ class GraphCentricEngine:
                     next_frontier_parts.append(local)
 
             program.on_iteration_end(ctx)
+            monitor.inject_state_fault(program, superstep)
+            reads = monitor.inject_edge_reads(reads, superstep)
             extra = ctx.drain_extra_work()
             work = (program.apply_flops_per_vertex * updates
                     + extra) * opts.unit_scale
@@ -168,12 +194,18 @@ class GraphCentricEngine:
                 messages=cross_msgs,
                 work=work,
             ))
+            verdict = monitor.observe(program, iteration=superstep,
+                                      frontier=frontier, work=work)
+            if verdict is not None:
+                mark_degraded(trace, verdict)
+                break
             if next_frontier_parts:
                 frontier = np.unique(np.concatenate(next_frontier_parts))
             else:
                 frontier = np.empty(0, dtype=np.int64)
 
-        trace.stop_reason = stop_reason
+        if not trace.degraded:
+            trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
         trace.wall_time_s = time.perf_counter() - started
         return trace

@@ -18,6 +18,7 @@ from repro.behavior.metrics import BehaviorMetrics, compute_metrics
 from repro.behavior.run import run_computation
 from repro.behavior.space import BehaviorVector, normalize_corpus
 from repro.behavior.trace import RunTrace
+from repro.behavior.validate import validate_trace
 from repro.experiments.config import (
     ExperimentMatrix,
     GraphSpec,
@@ -79,15 +80,27 @@ class BehaviorCorpus:
 
     @property
     def unexpected_failures(self) -> "list[CorpusRun]":
-        """Failures that are harness faults (crash/timeout/cache-corrupt)
+        """Failures that are harness faults (crash/timeout/numeric/...)
         rather than the paper's by-design out-of-budget runs."""
         return [f for f in self.failures
                 if f.failure is not None and not f.failure.expected]
 
+    @property
+    def degraded_runs(self) -> "list[CorpusRun]":
+        """Runs stopped early by a convergence watchdog under the
+        ``degrade`` health policy. Their partial traces are kept for
+        inspection but excluded from :meth:`vectors` — a truncated
+        trace would distort the ensemble search's behavior space."""
+        return [r for r in self.runs
+                if r.trace is not None and r.trace.degraded]
+
     def vectors(self, *, scheme: str = "max") -> list[BehaviorVector]:
-        """Corpus-normalized behavior vectors, tagged with run identity."""
-        metrics = [r.metrics for r in self.runs]
-        tags = [r.tag for r in self.runs]
+        """Corpus-normalized behavior vectors, tagged with run identity
+        (healthy runs only; degraded partial traces are excluded)."""
+        healthy = [r for r in self.runs
+                   if r.trace is None or not r.trace.degraded]
+        metrics = [r.metrics for r in healthy]
+        tags = [r.tag for r in healthy]
         return normalize_corpus(metrics, scheme=scheme, tags=tags)
 
     def by_algorithm(self, algorithm: str) -> list[CorpusRun]:
@@ -109,10 +122,18 @@ class BehaviorCorpus:
                        if r.spec.domain in ("ga", "clustering")})
 
     def summary(self) -> str:
+        degraded = self.degraded_runs
         lines = [
             f"Behavior corpus [{self.profile.name}]: {self.n_runs} runs, "
-            f"{len(self.failures)} failed, built in {self.build_seconds:.1f}s",
+            f"{len(self.failures)} failed, "
+            f"{len(degraded)} degraded, "
+            f"built in {self.build_seconds:.1f}s",
         ]
+        for run in degraded:
+            health = run.trace.health
+            lines.append(f"  DEGRADED {run.algorithm}@{run.spec.label}: "
+                         f"{health.get('condition', '?')} at iteration "
+                         f"{health.get('iteration', '?')}")
         for alg in self.algorithms():
             runs = self.by_algorithm(alg)
             iters = [r.trace.n_iterations for r in runs]
@@ -137,6 +158,8 @@ def execute_planned_run(
     timeout_s: "float | None" = None,
     retries: "int | None" = None,
     resume: bool = False,
+    health_policy: "str | None" = None,
+    health_check_every: "int | None" = None,
 ) -> CorpusRun:
     """Execute one cell (or fetch it from the store), profile-configured.
 
@@ -161,8 +184,16 @@ def execute_planned_run(
         When True, a *cached* transient failure is re-executed instead
         of being replayed from the store (cached successes and
         memory-budget failures are still reused).
+    health_policy, health_check_every:
+        Run-health overrides (see
+        :class:`~repro.engine.engine.EngineOptions`); None keeps the
+        engine defaults (``strict``, every iteration).
     """
-    options = {"memory_budget_bytes": profile.memory_budget_bytes}
+    options: dict = {"memory_budget_bytes": profile.memory_budget_bytes}
+    if health_policy is not None:
+        options["health_policy"] = health_policy
+    if health_check_every is not None:
+        options["health_check_every"] = health_check_every
     params: dict = {}
     if planned.algorithm == "diameter":
         params["n_hashes"] = profile.ad_n_hashes
@@ -190,6 +221,10 @@ def execute_planned_run(
             trace = run_computation(planned.algorithm, planned.spec,
                                     params=params, options=options,
                                     timeout_s=timeout_s)
+            # Every completed trace must satisfy the structural
+            # invariants; a violation records a "numeric" failure for
+            # the cell rather than poisoning the corpus.
+            validate_trace(trace)
         except Exception as exc:  # crash-isolation boundary
             failure = RunFailure.from_exception(exc, attempts=attempts)
             if failure.retryable and attempts <= retries:
@@ -213,13 +248,17 @@ def _isolated_execute(
     timeout_s: "float | None",
     retries: "int | None",
     resume: bool,
+    health_policy: "str | None" = None,
+    health_check_every: "int | None" = None,
 ) -> CorpusRun:
     """Run one cell, converting *any* escaping exception (store I/O,
     metric computation, ...) into a recorded crash failure."""
     try:
         return execute_planned_run(planned, profile, store,
                                    timeout_s=timeout_s, retries=retries,
-                                   resume=resume)
+                                   resume=resume,
+                                   health_policy=health_policy,
+                                   health_check_every=health_check_every)
     except Exception as exc:  # last-resort isolation
         return CorpusRun(planned.algorithm, planned.spec, None, None,
                          failure=RunFailure.from_exception(exc))
@@ -227,17 +266,22 @@ def _isolated_execute(
 
 def _worker_execute(payload: tuple) -> "CorpusRun":
     """Module-level worker for process pools (must be picklable)."""
-    planned, profile, store_root, timeout_s, retries, resume = payload
+    (planned, profile, store_root, timeout_s, retries, resume,
+     health_policy, health_check_every) = payload
     store = ResultStore(store_root) if store_root is not None else None
     return _isolated_execute(planned, profile, store, timeout_s, retries,
-                             resume)
+                             resume, health_policy, health_check_every)
 
 
 def _progress_line(run: CorpusRun, done: int, total: int) -> str:
     """One structured progress line per completed cell."""
     head = f"[{done}/{total}] {run.algorithm}@{run.spec.label}:"
     if run.ok:
-        line = f"{head} status=ok source={run.source}"
+        status = "ok"
+        if run.trace.degraded:
+            condition = run.trace.health.get("condition", "?")
+            status = f"degraded health={condition}"
+        line = f"{head} status={status} source={run.source}"
         if run.source == "run":
             line += f" t={run.trace.wall_time_s:.2f}s"
         return line
@@ -257,6 +301,8 @@ def build_corpus(
     timeout_s: "float | None" = None,
     retries: "int | None" = None,
     resume: bool = False,
+    health_policy: "str | None" = None,
+    health_check_every: "int | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -283,7 +329,7 @@ def build_corpus(
         they parallelize embarrassingly; each worker writes through the
         shared on-disk store (atomic writer-unique temp files, hashed
         per-key filenames). 1 (default) runs inline.
-    timeout_s, retries, resume:
+    timeout_s, retries, resume, health_policy, health_check_every:
         Forwarded to :func:`execute_planned_run`.
     """
     if not isinstance(profile, Profile):
@@ -298,7 +344,8 @@ def build_corpus(
     executor = None
     if workers <= 1:
         results = (_isolated_execute(planned, profile, store, timeout_s,
-                                     retries, resume)
+                                     retries, resume, health_policy,
+                                     health_check_every)
                    for planned in plan)
     else:
         import concurrent.futures
@@ -309,7 +356,8 @@ def build_corpus(
         futures = [
             executor.submit(_worker_execute,
                             (planned, profile, store_root, timeout_s,
-                             retries, resume))
+                             retries, resume, health_policy,
+                             health_check_every))
             for planned in plan
         ]
 

@@ -16,6 +16,20 @@ corpora. Every failed cell is therefore recorded as a
     The run exceeded its wall-clock limit
     (:class:`~repro._util.errors.RunTimeoutError`). Possibly transient
     (machine load), so eligible for retry.
+``numeric``
+    The run produced numerically invalid data: a NaN in vertex state or
+    a counter (:class:`~repro._util.errors.NumericError`), or a
+    completed trace that violated a structural invariant
+    (:class:`~repro._util.errors.TraceInvariantError`). Deterministic —
+    the same inputs corrupt the same way — so never retried, and always
+    *unexpected*: a numeric fault means the engine or an algorithm is
+    wrong, not that the experiment legitimately exceeded a budget.
+``nonconvergence``
+    A convergence watchdog fired under the ``strict`` health policy —
+    the run stalled, oscillated, or diverged
+    (:class:`~repro._util.errors.ConvergenceError` and its
+    :class:`~repro._util.errors.NonConvergenceError` subclass).
+    Deterministic, never retried, unexpected.
 ``crash``
     Any other exception escaping the run. Isolated to its cell, recorded
     with the full traceback, eligible for retry, and reported as an
@@ -34,16 +48,25 @@ from dataclasses import dataclass
 
 from repro._util.errors import (
     CacheCorruptError,
+    ConvergenceError,
+    NumericError,
     ResourceLimitError,
     RunTimeoutError,
+    TraceInvariantError,
     ValidationError,
 )
 
 #: Every legal failure kind, in severity order.
-FAILURE_KINDS: tuple[str, ...] = ("memory", "timeout", "crash", "cache-corrupt")
+FAILURE_KINDS: tuple[str, ...] = (
+    "memory", "timeout", "numeric", "nonconvergence", "crash",
+    "cache-corrupt",
+)
 
 #: Kinds worth retrying (possibly transient). ``memory`` is excluded:
 #: the budget check is deterministic, so re-running cannot succeed.
+#: ``numeric`` and ``nonconvergence`` are excluded for the same reason —
+#: the engines are deterministic, so a NaN or a stall reproduces
+#: identically on retry.
 RETRYABLE_KINDS: frozenset = frozenset({"timeout", "crash", "cache-corrupt"})
 
 #: Kinds that are part of the reproduced experiment rather than harness
@@ -57,6 +80,10 @@ def classify_exception(exc: BaseException) -> str:
         return "memory"
     if isinstance(exc, RunTimeoutError):
         return "timeout"
+    if isinstance(exc, (NumericError, TraceInvariantError)):
+        return "numeric"
+    if isinstance(exc, ConvergenceError):
+        return "nonconvergence"
     if isinstance(exc, CacheCorruptError):
         return "cache-corrupt"
     return "crash"

@@ -60,6 +60,27 @@ class TestRun:
         assert code == 0
         assert "iterations=3" in out
 
+    def test_injected_fault_strict_fails(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "run", "pagerank", "--nedges", "300",
+            "--inject-fault", "nan@2")
+        assert code == 1
+        assert "numeric guard" in err
+
+    def test_injected_fault_degrade_flags_trace(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "pagerank", "--nedges", "300",
+            "--inject-fault", "nan@2", "--health-policy", "degrade")
+        assert code == 0
+        assert "DEGRADED" in out
+        assert "numeric" in out
+
+    def test_health_check_every_flag(self, capsys):
+        code, _out, _err = run_cli(
+            capsys, "run", "cc", "--nedges", "200",
+            "--health-check-every", "3")
+        assert code == 0
+
 
 class TestCharacterize:
     def test_table(self, capsys):
@@ -150,6 +171,27 @@ class TestCorpusAndDesign:
         assert code == 0
         assert "executed 1, cached 219" in out
         assert out.count("source=run") == 1  # only the crashed cell
+
+    def test_corpus_engine_fault_exits_3_and_is_not_retried(
+            self, capsys, tiny_cache, monkeypatch):
+        """Acceptance: an injected engine-level NaN classifies as the
+        non-retryable kind=numeric (never a generic crash), the other
+        cells complete, and the build exits 3."""
+        monkeypatch.setenv("REPRO_INJECT_ENGINE_FAULT",
+                           "cc-ga-ne300-a2.0:nan@1")
+        code, out, err = run_cli(
+            capsys, "corpus", "--profile", "smoke", "--progress",
+            "--retries", "2")
+        assert code == 3
+        assert "status=failed kind=numeric" in out
+        assert "attempts=1" in out  # deterministic: retries not spent
+        assert "kind=crash" not in out
+        assert "FAILED cc@" in out
+        assert "failed unexpectedly" in err
+        # numeric is deterministic, so the hint must not suggest
+        # --resume (which only re-executes retryable kinds)
+        assert "--resume" not in err
+        assert "--no-cache" in err
 
     def test_corpus_timeout_and_retries_flags_parse(self, capsys,
                                                     tiny_cache):

@@ -54,7 +54,8 @@ def _planned(algorithm: str):
 
 class TestRunFailure:
     def test_kinds_are_closed(self):
-        assert set(FAILURE_KINDS) == {"memory", "timeout", "crash",
+        assert set(FAILURE_KINDS) == {"memory", "timeout", "numeric",
+                                      "nonconvergence", "crash",
                                       "cache-corrupt"}
         with pytest.raises(ValidationError):
             RunFailure(kind="cosmic-ray", message="bit flip")
@@ -81,6 +82,12 @@ class TestRunFailure:
         assert RunFailure(kind="memory", message="m").expected
         assert not RunFailure(kind="crash", message="c").expected
         assert RunFailure(kind="timeout", message="t").retryable
+        # The health kinds are deterministic: never retried, never
+        # expected — they always drive a nonzero corpus exit.
+        for kind in ("numeric", "nonconvergence"):
+            failure = RunFailure(kind=kind, message="x")
+            assert not failure.retryable
+            assert not failure.expected
 
     def test_dict_roundtrip(self):
         failure = RunFailure(kind="timeout", message="slow",
@@ -104,6 +111,178 @@ class TestWallClockLimit:
         with wall_clock_limit(0.05):
             pass
         time.sleep(0.1)  # the alarm must not fire after the block
+
+    def test_reports_enforcement(self):
+        with wall_clock_limit(30.0) as enforcement:
+            assert enforcement.enforced
+            assert enforcement.requested_s == 30.0
+        with wall_clock_limit(None) as enforcement:
+            assert not enforcement.enforced
+
+
+class TestWallClockFallback:
+    """SIGALRM is main-thread-only; elsewhere the limit degrades to the
+    engines' cooperative per-iteration deadline."""
+
+    def _in_thread(self, fn):
+        import threading
+
+        box: dict = {}
+
+        def target():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - test relay
+                box["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def test_warns_once_and_reports_unenforced(self, monkeypatch):
+        import repro._util.timing as timing
+
+        monkeypatch.setattr(timing, "_WARNED_UNENFORCEABLE", False)
+
+        def body():
+            import warnings
+
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with wall_clock_limit(5.0) as first:
+                    pass
+                with wall_clock_limit(5.0) as second:
+                    pass
+            return first, second, caught
+
+        first, second, caught = self._in_thread(body)
+        assert not first.enforced and not second.enforced
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1  # warned exactly once per process
+        assert "cooperative" in str(relevant[0].message)
+
+    def test_deadline_raises_after_budget(self):
+        from repro._util.timing import Deadline
+
+        deadline = Deadline(0.01)
+        time.sleep(0.05)
+        with pytest.raises(RunTimeoutError) as excinfo:
+            deadline.check()
+        assert "cooperative" in str(excinfo.value)
+        Deadline(None).check()  # disabled: never raises
+
+    def test_engine_cooperative_deadline(self):
+        from repro.behavior.run import run_computation
+        from repro.experiments.config import GraphSpec
+
+        spec = GraphSpec.for_domain("ga", nedges=400, alpha=2.5, seed=3)
+        with pytest.raises(RunTimeoutError):
+            run_computation("pagerank", spec,
+                            options={"wall_clock_budget_s": 1e-9})
+
+    def test_trace_records_enforcement_metadata(self):
+        from repro.behavior.run import run_computation
+        from repro.experiments.config import GraphSpec
+
+        spec = GraphSpec.for_domain("ga", nedges=200, alpha=2.5, seed=3)
+        trace = run_computation("cc", spec, timeout_s=60.0)
+        assert trace.meta["timeout_enforced"] is True
+        assert trace.meta["timeout_requested_s"] == 60.0
+
+    def test_thread_run_falls_back_and_records(self, monkeypatch):
+        import repro._util.timing as timing
+        from repro.behavior.run import run_computation
+        from repro.experiments.config import GraphSpec
+
+        monkeypatch.setattr(timing, "_WARNED_UNENFORCEABLE", True)
+        spec = GraphSpec.for_domain("ga", nedges=200, alpha=2.5, seed=3)
+        trace = self._in_thread(
+            lambda: run_computation("cc", spec, timeout_s=60.0))
+        assert trace.meta["timeout_enforced"] is False
+        assert not trace.degraded  # generous budget: run completes
+
+
+class TestParamsAliasing:
+    def test_context_deep_copies_params(self):
+        """A program mutating nested param containers must not leak the
+        mutation back into the caller's (long-lived) options dict."""
+        from repro.engine.context import Context
+        from repro.generators import powerlaw_graph
+
+        problem = powerlaw_graph(100, 2.5, seed=1)
+        params = {"tolerance": 1e-3, "schedule": [1, 2, 3],
+                  "nested": {"k": 5}}
+        ctx = Context(problem, params=params)
+        ctx.params["schedule"].append(99)
+        ctx.params["nested"]["k"] = -1
+        ctx.params["tolerance"] = 0.5
+        assert params == {"tolerance": 1e-3, "schedule": [1, 2, 3],
+                          "nested": {"k": 5}}
+
+    def test_engine_options_params_survive_two_runs(self):
+        """Two contexts built from one long-lived EngineOptions must not
+        share nested param containers: the first run's mutations would
+        otherwise leak into every retry and later run."""
+        from repro.engine.context import Context
+        from repro.engine.engine import EngineOptions
+        from repro.generators import powerlaw_graph
+
+        problem = powerlaw_graph(100, 2.5, seed=1)
+        opts = EngineOptions(params={"nested": {"k": 1}, "seq": [1]})
+        first = Context(problem, params=opts.params)
+        first.params["nested"]["k"] = 99
+        first.params["seq"].append(2)
+        second = Context(problem, params=opts.params)
+        assert second.params == {"nested": {"k": 1}, "seq": [1]}
+        assert opts.params == {"nested": {"k": 1}, "seq": [1]}
+
+
+class TestExhaustiveClassification:
+    #: Expected kind for every exception class defined in
+    #: repro._util.errors; the test fails if a new error type is added
+    #: without an explicit entry here.
+    EXPECTED = {
+        "ReproError": "crash",
+        "ValidationError": "crash",
+        "GraphConstructionError": "crash",
+        "ResourceLimitError": "memory",
+        "ConvergenceError": "nonconvergence",
+        "NumericError": "numeric",
+        "NonConvergenceError": "nonconvergence",
+        "TraceInvariantError": "numeric",
+        "RunTimeoutError": "timeout",
+        "CacheCorruptError": "cache-corrupt",
+    }
+
+    def test_every_library_error_type_is_classified(self):
+        import inspect
+
+        import repro._util.errors as errors_mod
+
+        classes = {
+            name: obj for name, obj in vars(errors_mod).items()
+            if inspect.isclass(obj) and issubclass(obj, Exception)
+            and obj.__module__ == errors_mod.__name__
+        }
+        assert set(classes) == set(self.EXPECTED), (
+            "error type added/removed without updating the "
+            "classification table")
+        for name, cls in classes.items():
+            exc = cls("synthetic")
+            kind = classify_exception(exc)
+            assert kind == self.EXPECTED[name], (
+                f"{name} classified as {kind!r}, "
+                f"expected {self.EXPECTED[name]!r}")
+            assert kind in FAILURE_KINDS
+
+    def test_builtin_exceptions_are_crashes(self):
+        for exc in (RuntimeError("x"), OSError("x"), KeyError("x"),
+                    ZeroDivisionError()):
+            assert classify_exception(exc) == "crash"
 
 
 class TestCrashIsolation:
