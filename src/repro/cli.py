@@ -61,6 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inject-fault", default=None, metavar="KIND@ITER",
                      help="engine-level fault injection for testing: "
                           "nan@3, diverge@2 or counter@1")
+    run.add_argument("--checkpoint-every", default=None, metavar="SPEC",
+                     help="snapshot run state every N iterations and/or "
+                          "T seconds ('5', '2.5s' or '5,30s')")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="snapshot directory (default: "
+                          "$REPRO_CHECKPOINT_DIR or ./.repro_checkpoints)")
+    run.add_argument("--from-checkpoint", action="store_true",
+                     help="resume from the newest snapshot of this run "
+                          "if one exists")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write the full trace as JSON")
 
@@ -97,6 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="run health checks every N iterations "
                           "(default: 1)")
+    cor.add_argument("--checkpoint-every", default=None, metavar="SPEC",
+                     help="snapshot each cell's run state every N "
+                          "iterations and/or T seconds ('5', '2.5s' or "
+                          "'5,30s'); killed or timed-out cells then "
+                          "resume from their last snapshot")
+    cor.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="snapshot directory (default: "
+                          "$REPRO_CHECKPOINT_DIR or ./.repro_checkpoints)")
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -157,6 +174,7 @@ def _cmd_run(args) -> int:
     from repro.behavior.shapes import classify_activity_shape
 
     domain = info(args.algorithm).domain
+    spec = _spec_for(args, domain)
     options: dict = {"mode": args.mode, "work_model": args.work_model}
     if args.max_iterations is not None:
         options["max_iterations"] = args.max_iterations
@@ -166,9 +184,24 @@ def _cmd_run(args) -> int:
         options["health_check_every"] = args.health_check_every
     if args.inject_fault is not None:
         options["inject_fault"] = args.inject_fault
-    trace = run_computation(args.algorithm, _spec_for(args, domain),
-                            options=options)
+    if args.checkpoint_every is not None or args.from_checkpoint:
+        from repro.engine.checkpoint import (
+            CheckpointConfig,
+            CheckpointPolicy,
+            SnapshotStore,
+        )
+
+        options["checkpoint"] = CheckpointConfig(
+            store=SnapshotStore(args.checkpoint_dir),
+            policy=CheckpointPolicy.parse(args.checkpoint_every or "1"),
+            key=f"{args.algorithm}-{spec.cache_key()}",
+            resume=args.from_checkpoint,
+        )
+    trace = run_computation(args.algorithm, spec, options=options)
     print(trace.summary())
+    resumed = trace.meta.get("resumed_from_iteration")
+    if resumed is not None:
+        print(f"  resumed from checkpoint at iteration {resumed}")
     m = compute_metrics(trace)
     print(f"  behavior: <updt={m.updt:.4g}, work={m.work:.4g}, "
           f"eread={m.eread:.4g}, msg={m.msg:.4g}>")
@@ -209,6 +242,49 @@ def _cmd_characterize(args) -> int:
 #: Exit code for a build that completed but recorded unexpected
 #: (non-memory) failures — distinct from argparse/usage errors.
 EXIT_UNEXPECTED_FAILURES = 3
+#: Exit code for a build stopped by SIGINT (128 + SIGINT, the shell
+#: convention for death-by-signal).
+EXIT_INTERRUPTED = 130
+
+
+class _SigintGovernor:
+    """Two-stage Ctrl-C for long builds.
+
+    The first SIGINT only *requests* a stop: the build finishes its
+    in-flight cells (which flush their checkpoints and land in the
+    store) and comes back marked interrupted. A second SIGINT restores
+    the default handler behavior by re-raising ``KeyboardInterrupt`` —
+    the user insists, so abort now.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._stop = threading.Event()
+        self._previous = None
+
+    def __enter__(self) -> "_SigintGovernor":
+        import signal
+
+        def handler(signum, frame):
+            if self._stop.is_set():
+                raise KeyboardInterrupt
+            self._stop.set()
+            print("\ninterrupt: no new cells will start; waiting for "
+                  "in-flight cells to flush (^C again to abort now)",
+                  file=sys.stderr)
+
+        self._previous = signal.signal(signal.SIGINT, handler)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import signal
+
+        signal.signal(signal.SIGINT, self._previous)
+
+    @property
+    def stop_requested(self):
+        return self._stop.is_set
 
 
 def _cmd_corpus(args) -> int:
@@ -216,14 +292,23 @@ def _cmd_corpus(args) -> int:
     from repro.experiments.failures import RETRYABLE_KINDS
 
     progress = (lambda line: print(f"  {line}")) if args.progress else None
-    corpus = build_corpus(args.profile, use_cache=not args.no_cache,
-                          progress=progress, workers=args.workers,
-                          timeout_s=args.timeout, retries=args.retries,
-                          resume=args.resume,
-                          health_policy=args.health_policy,
-                          health_check_every=args.health_check_every)
+    with _SigintGovernor() as governor:
+        corpus = build_corpus(args.profile, use_cache=not args.no_cache,
+                              progress=progress, workers=args.workers,
+                              timeout_s=args.timeout, retries=args.retries,
+                              resume=args.resume,
+                              health_policy=args.health_policy,
+                              health_check_every=args.health_check_every,
+                              checkpoint_dir=args.checkpoint_dir,
+                              checkpoint_every=args.checkpoint_every,
+                              stop_requested=governor.stop_requested)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
+    if corpus.interrupted:
+        print("interrupted: completed cells are cached; rerun the same "
+              "command to resume the build where it stopped",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
     unexpected = corpus.unexpected_failures
     if unexpected:
         kinds = sorted({f.failure.kind for f in unexpected})

@@ -15,6 +15,14 @@ Two drive modes execute the same :class:`~repro.engine.program.VertexProgram`:
 """
 
 from repro.engine.async_engine import AsynchronousEngine, AsyncEngineOptions
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    CheckpointSession,
+    SimulatedKillError,
+    Snapshot,
+    SnapshotStore,
+)
 from repro.engine.context import Context
 from repro.engine.edge_centric import EdgeCentricEngine, EdgeCentricOptions
 from repro.engine.engine import EngineOptions, SynchronousEngine
@@ -35,8 +43,14 @@ from repro.engine.program import Direction, VertexProgram
 __all__ = [
     "AsyncEngineOptions",
     "AsynchronousEngine",
+    "CheckpointConfig",
+    "CheckpointPolicy",
+    "CheckpointSession",
     "EdgeCentricEngine",
     "EdgeCentricOptions",
+    "SimulatedKillError",
+    "Snapshot",
+    "SnapshotStore",
     "FAULT_KINDS",
     "FaultPlan",
     "GraphCentricEngine",

@@ -46,6 +46,11 @@ from repro._util.errors import ResourceLimitError, ValidationError
 from repro._util.segments import REDUCE_IDENTITY, segmented_reduce
 from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointSession,
+    restore_runtime,
+)
 from repro.engine.context import Context
 from repro.engine.health import (
     build_monitor,
@@ -80,6 +85,8 @@ class AsyncEngineOptions:
     inject_fault: "str | None" = None
     #: Cooperative wall-clock budget, checked once per round.
     wall_clock_budget_s: "float | None" = None
+    #: Round-level checkpointing contract; None disables snapshots.
+    checkpoint: "CheckpointConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -206,6 +213,32 @@ class AsynchronousEngine:
         round_msgs = 0
         round_work = 0.0
         round_index = 0
+
+        # Checkpoints live at round boundaries — the scheduler object is
+        # snapshotted wholesale, so a resumed run pops the exact same
+        # vertex sequence the uninterrupted run would have.
+        session = CheckpointSession.begin(opts.checkpoint)
+        elapsed_before = 0.0
+        if session is not None:
+            snapshot = session.load(engine="asynchronous", program=program,
+                                    problem=problem)
+            if snapshot is not None:
+                restore_runtime(snapshot.payload, program, ctx, monitor)
+                scheduler = snapshot.payload["scheduler"]
+                steps = snapshot.payload["steps"]
+                round_index = snapshot.iteration
+                trace = snapshot.trace
+                elapsed_before = snapshot.elapsed_s
+                trace.meta["resumed_from_iteration"] = round_index
+
+        def flush(next_round: int) -> None:
+            session.save_state(
+                engine="asynchronous", program=program, problem=problem,
+                ctx=ctx, monitor=monitor, trace=trace,
+                next_iteration=next_round,
+                elapsed_s=elapsed_before + time.perf_counter() - started,
+                extra={"scheduler": scheduler, "steps": steps})
+
         stop_reason = "max-steps"
         while len(scheduler):
             if steps >= opts.max_steps:
@@ -250,11 +283,15 @@ class AsynchronousEngine:
                 round_work = 0.0
                 if verdict is not None:
                     mark_degraded(trace, verdict)
+                    if session is not None:
+                        flush(round_index)
                     break
                 if program.converged(ctx):
                     stop_reason = "converged"
                     trace.converged = True
                     break
+                if session is not None and session.due(round_index - 1):
+                    flush(round_index)
         else:
             stop_reason = "scheduler-drained"
             trace.converged = True
@@ -269,7 +306,9 @@ class AsynchronousEngine:
         if not trace.degraded:
             trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
-        trace.wall_time_s = time.perf_counter() - started
+        trace.wall_time_s = elapsed_before + time.perf_counter() - started
+        if session is not None:
+            session.complete(trace)
         return trace
 
     # ------------------------------------------------------------------

@@ -36,6 +36,11 @@ import numpy as np
 from repro._util.errors import ValidationError
 from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointSession,
+    restore_runtime,
+)
 from repro.engine.context import Context
 from repro.engine.health import (
     build_monitor,
@@ -67,6 +72,8 @@ class EdgeCentricOptions:
     inject_fault: "str | None" = None
     #: Cooperative wall-clock budget, checked once per iteration.
     wall_clock_budget_s: "float | None" = None
+    #: Iteration-level checkpointing contract; None disables snapshots.
+    checkpoint: "CheckpointConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -140,7 +147,31 @@ class EdgeCentricEngine:
         # was already streamed the iteration after it changed.
         source_live = np.zeros(graph.n_vertices, dtype=bool)
         source_live[frontier] = True
-        for iteration in range(opts.max_iterations):
+
+        session = CheckpointSession.begin(opts.checkpoint)
+        start_iteration = 0
+        elapsed_before = 0.0
+        if session is not None:
+            snapshot = session.load(engine="edge-centric", program=program,
+                                    problem=problem)
+            if snapshot is not None:
+                restore_runtime(snapshot.payload, program, ctx, monitor)
+                frontier = snapshot.payload["frontier"]
+                source_live = snapshot.payload["source_live"]
+                trace = snapshot.trace
+                start_iteration = snapshot.iteration
+                elapsed_before = snapshot.elapsed_s
+                trace.meta["resumed_from_iteration"] = start_iteration
+
+        def flush(next_iteration: int) -> None:
+            session.save_state(
+                engine="edge-centric", program=program, problem=problem,
+                ctx=ctx, monitor=monitor, trace=trace,
+                next_iteration=next_iteration,
+                elapsed_s=elapsed_before + time.perf_counter() - started,
+                extra={"frontier": frontier, "source_live": source_live})
+
+        for iteration in range(start_iteration, opts.max_iterations):
             deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
@@ -199,6 +230,8 @@ class EdgeCentricEngine:
                                       frontier=frontier, work=work)
             if verdict is not None:
                 mark_degraded(trace, verdict)
+                if session is not None:
+                    flush(iteration + 1)
                 break
             frontier = np.unique(np.asarray(
                 program.select_next_frontier(ctx, signaled),
@@ -207,9 +240,13 @@ class EdgeCentricEngine:
                 stop_reason = "converged"
                 trace.converged = True
                 break
+            if session is not None and session.due(iteration):
+                flush(iteration + 1)
 
         if not trace.degraded:
             trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
-        trace.wall_time_s = time.perf_counter() - started
+        trace.wall_time_s = elapsed_before + time.perf_counter() - started
+        if session is not None:
+            session.complete(trace)
         return trace

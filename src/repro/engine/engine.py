@@ -38,6 +38,13 @@ from repro._util.errors import ResourceLimitError, ValidationError
 from repro._util.segments import concat_ranges, segmented_reduce
 from repro._util.timing import Deadline, Stopwatch
 from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointSession,
+    Snapshot,
+    capture_runtime,
+    restore_runtime,
+)
 from repro.engine.context import Context
 from repro.engine.health import (
     build_monitor,
@@ -80,6 +87,8 @@ class EngineOptions:
     #: Cooperative wall-clock budget checked once per iteration — the
     #: timeout fallback where SIGALRM cannot enforce one. None disables.
     wall_clock_budget_s: "float | None" = None
+    #: Iteration-level checkpointing contract; None disables snapshots.
+    checkpoint: "CheckpointConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("vectorized", "reference"):
@@ -150,8 +159,31 @@ class SynchronousEngine:
 
         monitor = build_monitor(opts)
         deadline = Deadline(opts.wall_clock_budget_s)
+
+        session = CheckpointSession.begin(opts.checkpoint)
+        start_iteration = 0
+        elapsed_before = 0.0
+        if session is not None:
+            snapshot = session.load(engine="synchronous", program=program,
+                                    problem=problem)
+            if snapshot is not None:
+                restore_runtime(snapshot.payload, program, ctx, monitor)
+                frontier = snapshot.payload["frontier"]
+                trace = snapshot.trace
+                start_iteration = snapshot.iteration
+                elapsed_before = snapshot.elapsed_s
+                trace.meta["resumed_from_iteration"] = start_iteration
+
+        def flush(next_iteration: int) -> None:
+            session.save_state(
+                engine="synchronous", program=program, problem=problem,
+                ctx=ctx, monitor=monitor, trace=trace,
+                next_iteration=next_iteration,
+                elapsed_s=elapsed_before + time.perf_counter() - started,
+                extra={"frontier": frontier})
+
         stop_reason = "max-iterations"
-        for iteration in range(opts.max_iterations):
+        for iteration in range(start_iteration, opts.max_iterations):
             deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
@@ -175,16 +207,22 @@ class SynchronousEngine:
                                       frontier=active, work=counters.work)
             if verdict is not None:
                 mark_degraded(trace, verdict)
+                if session is not None:
+                    flush(iteration + 1)
                 break
             if program.converged(ctx):
                 stop_reason = "converged"
                 trace.converged = True
                 break
+            if session is not None and session.due(iteration):
+                flush(iteration + 1)
 
         if not trace.degraded:
             trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
-        trace.wall_time_s = time.perf_counter() - started
+        trace.wall_time_s = elapsed_before + time.perf_counter() - started
+        if session is not None:
+            session.complete(trace)
         return trace
 
     # ------------------------------------------------------------------

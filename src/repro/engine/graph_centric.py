@@ -36,6 +36,11 @@ from repro._util.errors import ValidationError
 from repro._util.segments import REDUCE_IDENTITY, concat_ranges, segmented_reduce
 from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointSession,
+    restore_runtime,
+)
 from repro.engine.context import Context
 from repro.engine.health import (
     build_monitor,
@@ -66,6 +71,8 @@ class GraphCentricOptions:
     inject_fault: "str | None" = None
     #: Cooperative wall-clock budget, checked once per superstep.
     wall_clock_budget_s: "float | None" = None
+    #: Superstep-level checkpointing contract; None disables snapshots.
+    checkpoint: "CheckpointConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.n_partitions < 1:
@@ -120,8 +127,31 @@ class GraphCentricEngine:
         deadline = Deadline(opts.wall_clock_budget_s)
 
         identity = REDUCE_IDENTITY[program.gather_op]
+
+        session = CheckpointSession.begin(opts.checkpoint)
+        start_superstep = 0
+        elapsed_before = 0.0
+        if session is not None:
+            snapshot = session.load(engine="graph-centric", program=program,
+                                    problem=problem)
+            if snapshot is not None:
+                restore_runtime(snapshot.payload, program, ctx, monitor)
+                frontier = snapshot.payload["frontier"]
+                trace = snapshot.trace
+                start_superstep = snapshot.iteration
+                elapsed_before = snapshot.elapsed_s
+                trace.meta["resumed_from_iteration"] = start_superstep
+
+        def flush(next_superstep: int) -> None:
+            session.save_state(
+                engine="graph-centric", program=program, problem=problem,
+                ctx=ctx, monitor=monitor, trace=trace,
+                next_iteration=next_superstep,
+                elapsed_s=elapsed_before + time.perf_counter() - started,
+                extra={"frontier": frontier})
+
         stop_reason = "max-supersteps"
-        for superstep in range(opts.max_supersteps):
+        for superstep in range(start_superstep, opts.max_supersteps):
             deadline.check()
             if frontier.size == 0:
                 stop_reason = "frontier-empty"
@@ -198,14 +228,20 @@ class GraphCentricEngine:
                                       frontier=frontier, work=work)
             if verdict is not None:
                 mark_degraded(trace, verdict)
+                if session is not None:
+                    flush(superstep + 1)
                 break
             if next_frontier_parts:
                 frontier = np.unique(np.concatenate(next_frontier_parts))
             else:
                 frontier = np.empty(0, dtype=np.int64)
+            if session is not None and session.due(superstep):
+                flush(superstep + 1)
 
         if not trace.degraded:
             trace.stop_reason = stop_reason
         trace.result = program.result(ctx)
-        trace.wall_time_s = time.perf_counter() - started
+        trace.wall_time_s = elapsed_before + time.perf_counter() - started
+        if session is not None:
+            session.complete(trace)
         return trace

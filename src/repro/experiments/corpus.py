@@ -10,8 +10,10 @@ largest-size runs failing on the engine memory budget.
 
 from __future__ import annotations
 
+import signal
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.behavior.metrics import BehaviorMetrics, compute_metrics
@@ -19,6 +21,11 @@ from repro.behavior.run import run_computation
 from repro.behavior.space import BehaviorVector, normalize_corpus
 from repro.behavior.trace import RunTrace
 from repro.behavior.validate import validate_trace
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    SnapshotStore,
+)
 from repro.experiments.config import (
     ExperimentMatrix,
     GraphSpec,
@@ -62,6 +69,9 @@ class BehaviorCorpus:
     runs: list[CorpusRun] = field(default_factory=list)
     failures: list[CorpusRun] = field(default_factory=list)
     build_seconds: float = 0.0
+    #: True when the build stopped early on a stop request (SIGINT);
+    #: cells not reached are simply absent and a rerun picks them up.
+    interrupted: bool = False
 
     @property
     def n_runs(self) -> int:
@@ -160,6 +170,8 @@ def execute_planned_run(
     resume: bool = False,
     health_policy: "str | None" = None,
     health_check_every: "int | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "str | None" = None,
 ) -> CorpusRun:
     """Execute one cell (or fetch it from the store), profile-configured.
 
@@ -188,6 +200,15 @@ def execute_planned_run(
         Run-health overrides (see
         :class:`~repro.engine.engine.EngineOptions`); None keeps the
         engine defaults (``strict``, every iteration).
+    checkpoint_dir, checkpoint_every:
+        Iteration-level checkpointing for the cell (see
+        :mod:`repro.engine.checkpoint`). ``checkpoint_every`` is a
+        :meth:`~repro.engine.checkpoint.CheckpointPolicy.parse` spec;
+        setting it snapshots the run's state to ``checkpoint_dir``
+        (default: ``$REPRO_CHECKPOINT_DIR`` or ``./.repro_checkpoints``)
+        so a timed-out or crashed attempt *resumes from its last
+        snapshot* instead of restarting, and the retry budget charges
+        only attempts that made no forward progress.
     """
     options: dict = {"memory_budget_bytes": profile.memory_budget_bytes}
     if health_policy is not None:
@@ -203,6 +224,15 @@ def execute_planned_run(
     if retries is None:
         retries = profile.max_retries
 
+    snap_store: "SnapshotStore | None" = None
+    if checkpoint_every is not None:
+        snap_store = SnapshotStore(checkpoint_dir)
+        options["checkpoint"] = CheckpointConfig(
+            store=snap_store,
+            policy=CheckpointPolicy.parse(checkpoint_every),
+            key=key,
+        )
+
     if store is not None:
         cached = store.load(key)  # corrupt entries quarantine -> miss
         if cached is not None:
@@ -213,7 +243,14 @@ def execute_planned_run(
             return CorpusRun(planned.algorithm, planned.spec, None, None,
                              failure=prior, source="cache")
 
+    def snapshot_progress() -> int:
+        if snap_store is None:
+            return -1
+        return snap_store.latest_iteration(key) or -1
+
     attempts = 0
+    stalled_attempts = 0
+    last_progress = snapshot_progress()
     backoff = profile.retry_backoff_s
     while True:
         attempts += 1
@@ -227,7 +264,17 @@ def execute_planned_run(
             validate_trace(trace)
         except Exception as exc:  # crash-isolation boundary
             failure = RunFailure.from_exception(exc, attempts=attempts)
-            if failure.retryable and attempts <= retries:
+            # The retry budget measures *forward progress*, not
+            # attempts: an attempt that advanced the cell's snapshot
+            # (more completed iterations on disk) resets the budget,
+            # because resuming from further along is not spinning.
+            progress = snapshot_progress()
+            if progress > last_progress:
+                last_progress = progress
+                stalled_attempts = 0
+            else:
+                stalled_attempts += 1
+            if failure.retryable and stalled_attempts <= retries:
                 time.sleep(backoff)
                 backoff *= 2
                 continue
@@ -250,6 +297,8 @@ def _isolated_execute(
     resume: bool,
     health_policy: "str | None" = None,
     health_check_every: "int | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "str | None" = None,
 ) -> CorpusRun:
     """Run one cell, converting *any* escaping exception (store I/O,
     metric computation, ...) into a recorded crash failure."""
@@ -258,7 +307,9 @@ def _isolated_execute(
                                    timeout_s=timeout_s, retries=retries,
                                    resume=resume,
                                    health_policy=health_policy,
-                                   health_check_every=health_check_every)
+                                   health_check_every=health_check_every,
+                                   checkpoint_dir=checkpoint_dir,
+                                   checkpoint_every=checkpoint_every)
     except Exception as exc:  # last-resort isolation
         return CorpusRun(planned.algorithm, planned.spec, None, None,
                          failure=RunFailure.from_exception(exc))
@@ -267,10 +318,20 @@ def _isolated_execute(
 def _worker_execute(payload: tuple) -> "CorpusRun":
     """Module-level worker for process pools (must be picklable)."""
     (planned, profile, store_root, timeout_s, retries, resume,
-     health_policy, health_check_every) = payload
+     health_policy, health_check_every, checkpoint_dir,
+     checkpoint_every) = payload
     store = ResultStore(store_root) if store_root is not None else None
     return _isolated_execute(planned, profile, store, timeout_s, retries,
-                             resume, health_policy, health_check_every)
+                             resume, health_policy, health_check_every,
+                             checkpoint_dir, checkpoint_every)
+
+
+def _pool_worker_init() -> None:
+    """Process-pool initializer: workers ignore SIGINT so a terminal
+    Ctrl-C (delivered to the whole process group) cannot kill them
+    mid-write — the parent decides when to stop dispatching, and
+    in-flight cells finish and flush their checkpoints."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def _progress_line(run: CorpusRun, done: int, total: int) -> str:
@@ -303,6 +364,9 @@ def build_corpus(
     resume: bool = False,
     health_policy: "str | None" = None,
     health_check_every: "int | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "str | None" = None,
+    stop_requested: "Callable[[], bool] | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -331,6 +395,17 @@ def build_corpus(
         per-key filenames). 1 (default) runs inline.
     timeout_s, retries, resume, health_policy, health_check_every:
         Forwarded to :func:`execute_planned_run`.
+    checkpoint_dir, checkpoint_every:
+        Per-cell iteration-level checkpointing, forwarded to
+        :func:`execute_planned_run`; with ``checkpoint_every`` set,
+        killed/timed-out cells resume from their last snapshot on retry
+        or on the next build.
+    stop_requested:
+        Optional callable polled between cells (the CLI's SIGINT hook).
+        Once it returns True, no further cell is dispatched; in-flight
+        pool cells finish (and flush their checkpoints), pending ones
+        are cancelled, and the corpus comes back with
+        ``interrupted=True``.
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -341,30 +416,50 @@ def build_corpus(
     started = time.perf_counter()
     plan = matrix.corpus_runs()
 
+    def stopped() -> bool:
+        return stop_requested is not None and stop_requested()
+
     executor = None
     if workers <= 1:
-        results = (_isolated_execute(planned, profile, store, timeout_s,
-                                     retries, resume, health_policy,
-                                     health_check_every)
-                   for planned in plan)
+        def _inline():
+            for planned in plan:
+                if stopped():
+                    return
+                yield _isolated_execute(planned, profile, store, timeout_s,
+                                        retries, resume, health_policy,
+                                        health_check_every, checkpoint_dir,
+                                        checkpoint_every)
+
+        results = _inline()
     else:
         import concurrent.futures
 
         store_root = store.root if store is not None else None
         executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers)
+            max_workers=workers, initializer=_pool_worker_init)
         futures = [
             executor.submit(_worker_execute,
                             (planned, profile, store_root, timeout_s,
                              retries, resume, health_policy,
-                             health_check_every))
+                             health_check_every, checkpoint_dir,
+                             checkpoint_every))
             for planned in plan
         ]
 
         def _collect():
             for planned, future in zip(plan, futures):
+                if stopped():
+                    # Stop dispatching: cancel everything not yet
+                    # started; cells already running finish in their
+                    # workers (and their results land in the store for
+                    # the next build) but are no longer collected.
+                    for pending in futures:
+                        pending.cancel()
+                    return
                 try:
                     yield future.result()
+                except concurrent.futures.CancelledError:
+                    return
                 except Exception as exc:  # pool-level fault (e.g.
                     # BrokenProcessPool, unpicklable result): record it
                     # against the cell instead of aborting the build.
@@ -388,5 +483,6 @@ def build_corpus(
             # cancel_futures: an in-flight exception (or ^C) must not
             # wait out the whole queued plan before surfacing.
             executor.shutdown(cancel_futures=True)
+    corpus.interrupted = stopped()
     corpus.build_seconds = time.perf_counter() - started
     return corpus

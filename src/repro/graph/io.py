@@ -53,12 +53,19 @@ def read_edge_list(
 
     Lines starting with ``#`` are comments; the header comment's
     ``n_vertices`` is honored unless overridden by the argument.
+
+    The header's declared ``n_vertices``/``n_edges`` are validated
+    against what was actually parsed: a truncated copy (fewer edge
+    lines than declared) or an out-of-range vertex id raises
+    :class:`ValidationError` instead of silently yielding a smaller
+    graph.
     """
     path = Path(path)
     srcs: list[int] = []
     dsts: list[int] = []
     weights: list[float] = []
     header_n: int | None = None
+    header_m: int | None = None
     header_directed: bool | None = None
     with path.open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -69,6 +76,8 @@ def read_edge_list(
                 for token in line[1:].split():
                     if token.startswith("n_vertices="):
                         header_n = int(token.partition("=")[2])
+                    elif token.startswith("n_edges="):
+                        header_m = int(token.partition("=")[2])
                     elif token in ("directed", "undirected"):
                         header_directed = token == "directed"
                 continue
@@ -83,9 +92,20 @@ def read_edge_list(
                 weights.append(float(parts[2]))
     if weights and len(weights) != len(srcs):
         raise ValidationError(f"{path}: mixed weighted and unweighted lines")
+    if header_m is not None and header_m != len(srcs):
+        raise ValidationError(
+            f"{path}: header declares n_edges={header_m} but {len(srcs)} "
+            f"edge line(s) were parsed — truncated or corrupted file")
     n = n_vertices if n_vertices is not None else header_n
     if n is None:
         n = (max(max(srcs, default=-1), max(dsts, default=-1)) + 1) or 1
+    else:
+        peak = max(max(srcs, default=-1), max(dsts, default=-1))
+        low = min(min(srcs, default=0), min(dsts, default=0))
+        if peak >= n or low < 0:
+            raise ValidationError(
+                f"{path}: vertex id range [{low}, {peak}] outside the "
+                f"declared n_vertices={n}")
     if header_directed is not None and n_vertices is None:
         directed = header_directed
     return Graph.from_edges(
@@ -192,7 +212,10 @@ def read_uai(path: str | Path) -> PairwiseMRF:
 
     Only unary and pairwise factors are supported (the subset Dual
     Decomposition consumes); higher-order factors raise
-    :class:`ValidationError`.
+    :class:`ValidationError`. Truncated files (fewer tokens than the
+    declared variable/factor/table counts require), out-of-range
+    variable indices, and trailing garbage all raise
+    :class:`ValidationError` rather than yielding a smaller MRF.
     """
     path = Path(path)
     tokens = path.read_text(encoding="utf-8").split()
@@ -219,7 +242,12 @@ def read_uai(path: str | Path) -> PairwiseMRF:
             raise ValidationError(
                 f"{path}: only pairwise MRFs supported, got factor arity {arity}"
             )
-        scopes.append([int(t) for t in take(arity)])
+        scope = [int(t) for t in take(arity)]
+        if any(i < 0 or i >= n_vars for i in scope):
+            raise ValidationError(
+                f"{path}: factor scope {scope} references a variable "
+                f"outside the declared {n_vars} variables")
+        scopes.append(scope)
 
     unary: dict[int, np.ndarray] = {}
     pair_vars: list[tuple[int, int]] = []
@@ -241,6 +269,11 @@ def read_uai(path: str | Path) -> PairwiseMRF:
             pair_vars.append((u, v))
             pair_tables.append(values.reshape(cards[u], cards[v]))
 
+    if pos != len(tokens):
+        raise ValidationError(
+            f"{path}: {len(tokens) - pos} unexpected trailing token(s) "
+            f"after the last declared factor table — factor count and "
+            f"content disagree")
     for i in range(n_vars):
         unary.setdefault(i, np.zeros(cards[i]))
     mrf = PairwiseMRF(

@@ -116,3 +116,65 @@ class TestUAI:
         mrf = read_uai(path)
         assert np.all(mrf.unary[0] == 0)
         assert mrf.pair_tables[0].tolist() == [[1.0, 2.0], [3.0, 4.0]]
+
+
+class TestTruncationHardening:
+    """A partially-copied input must fail loudly, not load as a
+    silently smaller graph."""
+
+    def test_truncated_edge_list_detected(self, tmp_path):
+        g = powerlaw_graph(300, 2.5, seed=4).graph
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[: len(lines) // 2]) + "\n",
+                        encoding="utf-8")
+        with pytest.raises(ValidationError, match="truncated"):
+            read_edge_list(path)
+
+    def test_edge_list_header_edge_count_enforced(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro edge list: undirected n_vertices=3 "
+                        "n_edges=3\n0 1\n1 2\n", encoding="utf-8")
+        with pytest.raises(ValidationError, match="n_edges=3"):
+            read_edge_list(path)
+
+    def test_edge_list_out_of_range_vertex_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 7\n", encoding="utf-8")
+        with pytest.raises(ValidationError, match="outside"):
+            read_edge_list(path, n_vertices=3)
+
+    def test_edge_list_header_vertex_count_enforced(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro edge list: undirected n_vertices=3\n"
+                        "0 1\n1 9\n", encoding="utf-8")
+        with pytest.raises(ValidationError, match="outside"):
+            read_edge_list(path)
+
+    def test_truncated_uai_tables_detected(self, tmp_path, mrf_problem_small):
+        mrf = mrf_problem_small.inputs["mrf"]
+        path = tmp_path / "m.uai"
+        write_uai(mrf, path)
+        tokens = path.read_text(encoding="utf-8").split()
+        path.write_text(" ".join(tokens[: len(tokens) - 5]),
+                        encoding="utf-8")
+        with pytest.raises(ValidationError, match="truncated"):
+            read_uai(path)
+
+    def test_uai_trailing_garbage_detected(self, tmp_path,
+                                           mrf_problem_small):
+        mrf = mrf_problem_small.inputs["mrf"]
+        path = tmp_path / "m.uai"
+        write_uai(mrf, path)
+        path.write_text(path.read_text(encoding="utf-8") + "\n0.5 0.5\n",
+                        encoding="utf-8")
+        with pytest.raises(ValidationError, match="trailing"):
+            read_uai(path)
+
+    def test_uai_scope_out_of_range_detected(self, tmp_path):
+        path = tmp_path / "m.uai"
+        path.write_text("MARKOV\n2\n2 2\n1\n2 0 5\n4\n1 1 1 1\n",
+                        encoding="utf-8")
+        with pytest.raises(ValidationError, match="scope"):
+            read_uai(path)

@@ -463,3 +463,86 @@ class TestEngineOptionValidation:
             Profile(name="bad", ga_sizes=(1,), cf_sizes=(1,),
                     matrix_rows=(1,), grid_sides=(1,), mrf_edges=(1,),
                     retry_backoff_s=-0.1)
+
+
+# ----------------------------------------------------------------------
+# ResultStore quarantine under concurrent readers
+# ----------------------------------------------------------------------
+def _load_is_miss(payload) -> bool:
+    """Module-level pool worker: load one key, report cache miss."""
+    root, key = payload
+    return ResultStore(root).load(key) is None
+
+
+class TestConcurrentQuarantine:
+    def test_corrupt_entry_quarantined_once_under_concurrency(
+            self, tmp_path):
+        """Many processes racing to load one corrupt cache entry: every
+        load reports a miss (never a crash, never a half-read trace),
+        and exactly one racer wins the quarantine move — the entry is
+        preserved once, not duplicated or lost."""
+        import concurrent.futures
+
+        planned = _planned("cc")
+        key = run_cache_key(planned, TINY_PROFILE)
+        store = ResultStore(tmp_path)
+        assert execute_planned_run(planned, TINY_PROFILE, store).ok
+        path = store._path(key)
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            misses = list(pool.map(_load_is_miss,
+                                   [(store.root, key)] * 8))
+        assert all(misses)
+        assert not path.exists()
+        assert sum(1 for _ in store.quarantine_dir.iterdir()) == 1
+
+
+# ----------------------------------------------------------------------
+# Cooperative stop (the CLI's SIGINT hook)
+# ----------------------------------------------------------------------
+class TestStopRequested:
+    def test_stop_requested_interrupts_inline_build(self, tmp_path):
+        polls = []
+
+        def stop() -> bool:
+            polls.append(1)
+            return len(polls) > 3
+
+        corpus = build_corpus(TINY_PROFILE, store=ResultStore(tmp_path),
+                              workers=1, stop_requested=stop)
+        assert corpus.interrupted
+        total = len(ExperimentMatrix(TINY_PROFILE).corpus_runs())
+        done = len(corpus.runs) + len(corpus.failures)
+        assert 0 < done < total
+
+    def test_interrupted_build_resumes_from_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        polls = []
+
+        def stop() -> bool:
+            polls.append(1)
+            return len(polls) > 3
+
+        first = build_corpus(TINY_PROFILE, store=store, workers=1,
+                             stop_requested=stop)
+        assert first.interrupted
+        second = build_corpus(TINY_PROFILE, store=store, workers=1)
+        assert not second.interrupted
+        assert second.n_cached >= len(first.runs)
+        total = len(ExperimentMatrix(TINY_PROFILE).corpus_runs())
+        assert len(second.runs) + len(second.failures) == total
+
+    def test_sigint_governor_two_stage(self, capsys):
+        import signal as _signal
+
+        from repro.cli import _SigintGovernor
+
+        with _SigintGovernor() as governor:
+            assert not governor.stop_requested()
+            handler = _signal.getsignal(_signal.SIGINT)
+            handler(_signal.SIGINT, None)
+            assert governor.stop_requested()
+            with pytest.raises(KeyboardInterrupt):
+                handler(_signal.SIGINT, None)
