@@ -114,6 +114,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cor.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                      help="snapshot directory (default: "
                           "$REPRO_CHECKPOINT_DIR or ./.repro_checkpoints)")
+    cor.add_argument("--no-shm", action="store_true",
+                     help="disable the shared-memory graph plane; "
+                          "workers materialize graphs per process "
+                          "(through their own LRU cache)")
+    cor.add_argument("--graph-cache-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="per-process graph cache capacity (default: "
+                          "$REPRO_GRAPH_CACHE_BYTES or 256 MiB; 0 "
+                          "disables)")
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -301,7 +310,9 @@ def _cmd_corpus(args) -> int:
                               health_check_every=args.health_check_every,
                               checkpoint_dir=args.checkpoint_dir,
                               checkpoint_every=args.checkpoint_every,
-                              stop_requested=governor.stop_requested)
+                              stop_requested=governor.stop_requested,
+                              use_shm=not args.no_shm,
+                              graph_cache_bytes=args.graph_cache_bytes)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
     if corpus.interrupted:

@@ -119,7 +119,7 @@ class EdgeCentricEngine:
             raise ValidationError("edge-centric execution assumes "
                                   "gather_dir == Direction.IN")
         tgt = np.repeat(np.arange(graph.n_vertices, dtype=np.int64),
-                        np.diff(graph.in_ptr))
+                        graph.in_degree)
         src = graph.in_src
         eid = graph.in_eid
 

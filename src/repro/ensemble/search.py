@@ -202,6 +202,35 @@ def _make_evaluator(pool, metric, space, samples, n_samples, seed):
     return ev, vectors, space
 
 
+def _best_with_evaluator(
+    ev: _Evaluator,
+    vectors: list,
+    size: int,
+    metric: str,
+    beam_width: int,
+    refine: bool,
+) -> SearchResult:
+    """Beam search + optional swap refinement over a built evaluator."""
+    if size < 1:
+        raise ValidationError("size must be >= 1")
+    if size > ev.n:
+        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
+    states = _beam_search(ev, size, beam_width)
+    best_state = max(states, key=ev.score)
+    indices = best_state[0]
+    score = ev.score(best_state)
+    if refine:
+        indices, score = _swap_refine(ev, indices)
+    members = tuple(vectors[i] for i in indices)
+    return SearchResult(
+        ensemble=Ensemble(members=members,
+                          name=f"best-{metric}-{size}"),
+        score=float(score),
+        indices=tuple(indices),
+        metric=metric,
+    )
+
+
 def best_ensemble(
     pool: "Ensemble | list[BehaviorVector]",
     size: int,
@@ -224,22 +253,8 @@ def best_ensemble(
         raise ValidationError("size must be >= 1")
     ev, vectors, space = _make_evaluator(pool, metric, space, samples,
                                          n_samples, seed)
-    if size > ev.n:
-        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
-    states = _beam_search(ev, size, beam_width)
-    best_state = max(states, key=ev.score)
-    indices = best_state[0]
-    score = ev.score(best_state)
-    if refine:
-        indices, score = _swap_refine(ev, indices)
-    members = tuple(vectors[i] for i in indices)
-    return SearchResult(
-        ensemble=Ensemble(members=members,
-                          name=f"best-{metric}-{size}"),
-        score=float(score),
-        indices=tuple(indices),
-        metric=metric,
-    )
+    return _best_with_evaluator(ev, vectors, size, metric, beam_width,
+                                refine)
 
 
 def top_k_ensembles(
@@ -285,10 +300,25 @@ def best_ensemble_curve(
     pool: "Ensemble | list[BehaviorVector]",
     sizes: "list[int] | tuple[int, ...]",
     metric: str = "spread",
-    **kwargs,
+    *,
+    space: BehaviorSpace | None = None,
+    samples: np.ndarray | None = None,
+    n_samples: int = 4_000,
+    seed: int = 0,
+    beam_width: int = 64,
+    refine: bool = True,
 ) -> dict[int, SearchResult]:
-    """Best ensembles across a range of sizes (the Figs 14-19 curves)."""
-    return {int(size): best_ensemble(pool, int(size), metric, **kwargs)
+    """Best ensembles across a range of sizes (the Figs 14-19 curves).
+
+    The :class:`_Evaluator` — the full pairwise-distance matrix for
+    spread, the candidate-to-sample distance matrix for coverage — is
+    built once and shared by every size, so a 20-point curve pays for
+    one ``pdist``/``cdist`` instead of 20.
+    """
+    ev, vectors, _space = _make_evaluator(pool, metric, space, samples,
+                                          n_samples, seed)
+    return {int(size): _best_with_evaluator(ev, vectors, int(size), metric,
+                                            beam_width, refine)
             for size in sizes}
 
 

@@ -34,7 +34,12 @@ from repro.experiments.config import (
     get_profile,
 )
 from repro.experiments.failures import RunFailure
+from repro.experiments.graph_cache import (
+    configure_default_cache,
+    materialize_problem,
+)
 from repro.experiments.results import ResultStore
+from repro.graph import shm
 
 
 @dataclass
@@ -49,6 +54,10 @@ class CorpusRun:
     #: ``"run"`` if this result was (re-)executed in this build,
     #: ``"cache"`` if it was loaded from the result store.
     source: str = "run"
+    #: Seconds spent persisting the trace to the result store (only for
+    #: executed cells; the trace itself carries ``materialize_s`` and
+    #: ``engine_s`` in its meta).
+    store_s: "float | None" = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +81,11 @@ class BehaviorCorpus:
     #: True when the build stopped early on a stop request (SIGINT);
     #: cells not reached are simply absent and a rerun picks them up.
     interrupted: bool = False
+    #: Whether the shared-memory graph plane was active for this build.
+    graph_plane: bool = False
+    #: Graphs pre-materialized and published, and the time that took.
+    premat_graphs: int = 0
+    premat_seconds: float = 0.0
 
     @property
     def n_runs(self) -> int:
@@ -131,14 +145,45 @@ class BehaviorCorpus:
         return sorted({(r.spec.nedges, r.spec.alpha) for r in self.runs
                        if r.spec.domain in ("ga", "clustering")})
 
+    def timing_decomposition(self) -> "dict[str, float] | None":
+        """Aggregate per-cell timings over executed cells, or None when
+        nothing was executed (a fully cached build)."""
+        executed = [r for r in self.runs + self.failures
+                    if r.source == "run" and r.trace is not None
+                    and "materialize_s" in r.trace.meta]
+        if not executed:
+            return None
+        return {
+            "cells": float(len(executed)),
+            "materialize_s": sum(r.trace.meta["materialize_s"]
+                                 for r in executed),
+            "engine_s": sum(r.trace.meta["engine_s"] for r in executed),
+            "store_s": sum(r.store_s or 0.0 for r in executed),
+            "graph_reuses": float(sum(
+                1 for r in executed
+                if r.trace.meta.get("graph_source") in ("shm", "cache"))),
+        }
+
     def summary(self) -> str:
         degraded = self.degraded_runs
+        plane = ", graph plane on" if self.graph_plane else ""
         lines = [
             f"Behavior corpus [{self.profile.name}]: {self.n_runs} runs, "
             f"{len(self.failures)} failed, "
             f"{len(degraded)} degraded, "
-            f"built in {self.build_seconds:.1f}s",
+            f"built in {self.build_seconds:.1f}s{plane}",
         ]
+        if self.graph_plane:
+            lines.append(f"  graph plane: {self.premat_graphs} graphs "
+                         f"pre-materialized in {self.premat_seconds:.2f}s")
+        timing = self.timing_decomposition()
+        if timing is not None:
+            lines.append(
+                f"  timing: materialize {timing['materialize_s']:.2f}s + "
+                f"engine {timing['engine_s']:.2f}s + "
+                f"store {timing['store_s']:.2f}s over "
+                f"{timing['cells']:.0f} executed cells "
+                f"({timing['graph_reuses']:.0f} graph reuses)")
         for run in degraded:
             health = run.trace.health
             lines.append(f"  DEGRADED {run.algorithm}@{run.spec.label}: "
@@ -282,10 +327,13 @@ def execute_planned_run(
                 store.save_failure(key, failure)
             return CorpusRun(planned.algorithm, planned.spec, None, None,
                              failure=failure)
+        store_s = 0.0
         if store is not None:
+            store_started = time.perf_counter()
             store.save(key, trace)
+            store_s = time.perf_counter() - store_started
         return CorpusRun(planned.algorithm, planned.spec, trace,
-                         compute_metrics(trace))
+                         compute_metrics(trace), store_s=store_s)
 
 
 def _isolated_execute(
@@ -319,11 +367,26 @@ def _worker_execute(payload: tuple) -> "CorpusRun":
     """Module-level worker for process pools (must be picklable)."""
     (planned, profile, store_root, timeout_s, retries, resume,
      health_policy, health_check_every, checkpoint_dir,
-     checkpoint_every) = payload
+     checkpoint_every, manifest, graph_cache_bytes) = payload
+    configure_default_cache(graph_cache_bytes)
+    if manifest is not None:
+        shm.install_manifest(manifest)
     store = ResultStore(store_root) if store_root is not None else None
     return _isolated_execute(planned, profile, store, timeout_s, retries,
                              resume, health_policy, health_check_every,
                              checkpoint_dir, checkpoint_every)
+
+
+def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
+    """Pre-materialization worker: generate one distinct graph.
+
+    Runs through :func:`materialize_problem` so the materialization
+    counter sees it and the worker's own cache keeps it warm; the
+    problem is pickled back to the parent, which publishes it into the
+    graph plane.
+    """
+    problem, _source = materialize_problem(spec)
+    return spec.cache_key(), problem
 
 
 def _pool_worker_init() -> None:
@@ -345,11 +408,58 @@ def _progress_line(run: CorpusRun, done: int, total: int) -> str:
         line = f"{head} status={status} source={run.source}"
         if run.source == "run":
             line += f" t={run.trace.wall_time_s:.2f}s"
+            meta = run.trace.meta
+            if "materialize_s" in meta:
+                # Timing decomposition: a slow cell is attributable to
+                # graph materialization vs engine vs store at a glance.
+                line += (f" mat={meta['materialize_s']:.2f}s"
+                         f" eng={meta['engine_s']:.2f}s"
+                         f" st={run.store_s or 0.0:.2f}s"
+                         f" graph={meta.get('graph_source', '?')}")
         return line
     failure = run.failure
     return (f"{head} status=failed kind={failure.kind} "
             f"attempts={failure.attempts} source={run.source}: "
             f"{failure.message}")
+
+
+def _affinity_order(plan: "list[PlannedRun]") -> "list[PlannedRun]":
+    """Graph-affinity scheduling: order the plan graph-major.
+
+    Cells sharing a spec run consecutively, so a worker's attached
+    segment / cache entry stays warm; the sort is stable, keeping the
+    algorithm order within one graph deterministic.
+    """
+    return sorted(plan, key=lambda planned: planned.spec.cache_key())
+
+
+def _specs_needing_materialization(
+    plan: "list[PlannedRun]",
+    profile: Profile,
+    store: "ResultStore | None",
+    resume: bool,
+) -> "dict[str, GraphSpec]":
+    """Distinct specs with at least one cell that will actually execute.
+
+    A fully cached rebuild pre-materializes nothing; a cell whose cached
+    entry is a retryable failure counts as needing its graph only under
+    ``resume`` (matching :func:`execute_planned_run`'s replay rules).
+    """
+    needed: dict[str, GraphSpec] = {}
+    for planned in plan:
+        spec_key = planned.spec.cache_key()
+        if spec_key in needed:
+            continue
+        if store is not None:
+            key = run_cache_key(planned, profile)
+            if store.contains(key):
+                if not resume:
+                    continue
+                prior = store.load_failure(key)
+                if prior is None or not prior.retryable:
+                    continue
+        needed[spec_key] = planned.spec
+    return needed
 
 
 def build_corpus(
@@ -367,6 +477,8 @@ def build_corpus(
     checkpoint_dir: "str | Path | None" = None,
     checkpoint_every: "str | None" = None,
     stop_requested: "Callable[[], bool] | None" = None,
+    use_shm: bool = True,
+    graph_cache_bytes: "int | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -406,6 +518,16 @@ def build_corpus(
         pool cells finish (and flush their checkpoints), pending ones
         are cancelled, and the corpus comes back with
         ``interrupted=True``.
+    use_shm:
+        Enable the shared-memory graph plane for multi-worker builds:
+        each distinct graph is pre-materialized once (in parallel),
+        published into shared memory, and attached zero-copy by every
+        worker. Off (or when shared memory is unavailable), workers
+        fall back to per-process materialization through their own
+        :class:`~repro.experiments.graph_cache.GraphCache`.
+    graph_cache_bytes:
+        Capacity of the per-process graph LRU cache (None keeps the
+        default / ``$REPRO_GRAPH_CACHE_BYTES``; 0 disables caching).
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -414,12 +536,15 @@ def build_corpus(
     matrix = ExperimentMatrix(profile)
     corpus = BehaviorCorpus(profile=profile)
     started = time.perf_counter()
-    plan = matrix.corpus_runs()
+    plan = _affinity_order(matrix.corpus_runs())
+    configure_default_cache(graph_cache_bytes)
 
     def stopped() -> bool:
         return stop_requested is not None and stop_requested()
 
     executor = None
+    plane = None
+    manifests: "dict[str, shm.ShmManifest]" = {}
     if workers <= 1:
         def _inline():
             for planned in plan:
@@ -437,12 +562,51 @@ def build_corpus(
         store_root = store.root if store is not None else None
         executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers, initializer=_pool_worker_init)
+
+        if use_shm and shm.shm_available():
+            # Pre-materialization: build each distinct graph once (in
+            # parallel, in the pool) and publish it before dispatching
+            # cells, so no two workers ever generate the same spec.
+            premat_started = time.perf_counter()
+            needed = _specs_needing_materialization(plan, profile, store,
+                                                    resume)
+            premat_futures = {
+                executor.submit(_materialize_worker, spec): spec_key
+                for spec_key, spec in needed.items()
+            }
+            if needed:
+                plane = shm.GraphPlane()
+            for future in concurrent.futures.as_completed(premat_futures):
+                if stopped() or plane is None:
+                    break
+                try:
+                    spec_key, problem = future.result()
+                except Exception:
+                    # A failing generator is that cell's problem: the
+                    # cell re-runs it and records the failure.
+                    continue
+                if not shm.publishable(problem):
+                    continue
+                try:
+                    manifests[spec_key] = plane.publish(spec_key, problem)
+                except Exception:
+                    # Plane-level fault (shm exhausted, ...): fall back
+                    # to per-process materialization for everything.
+                    plane.close()
+                    plane = None
+                    manifests = {}
+            corpus.graph_plane = plane is not None
+            corpus.premat_graphs = len(manifests)
+            corpus.premat_seconds = time.perf_counter() - premat_started
+
         futures = [
             executor.submit(_worker_execute,
                             (planned, profile, store_root, timeout_s,
                              retries, resume, health_policy,
                              health_check_every, checkpoint_dir,
-                             checkpoint_every))
+                             checkpoint_every,
+                             manifests.get(planned.spec.cache_key()),
+                             graph_cache_bytes))
             for planned in plan
         ]
 
@@ -483,6 +647,11 @@ def build_corpus(
             # cancel_futures: an in-flight exception (or ^C) must not
             # wait out the whole queued plan before surfacing.
             executor.shutdown(cancel_futures=True)
+        if plane is not None:
+            # After the pool is down no process can still be attached;
+            # unlink every published segment (also runs on the SIGINT
+            # and exception paths — nothing may leak into /dev/shm).
+            plane.close()
     corpus.interrupted = stopped()
     corpus.build_seconds = time.perf_counter() - started
     return corpus

@@ -197,20 +197,32 @@ class Graph:
     # ------------------------------------------------------------------
     @cached_property
     def out_degree(self) -> np.ndarray:
-        """Out-degree of every vertex (undirected: total degree)."""
-        return np.diff(self.out_ptr)
+        """Out-degree of every vertex (undirected: total degree).
+
+        Computed once and cached read-only on the immutable graph, so
+        engine frontier paths can use it every superstep for free.
+        """
+        deg = np.diff(self.out_ptr)
+        deg.setflags(write=False)
+        return deg
 
     @cached_property
     def in_degree(self) -> np.ndarray:
-        """In-degree of every vertex (undirected: total degree)."""
-        return np.diff(self.in_ptr)
+        """In-degree of every vertex (undirected: total degree);
+        cached read-only like :attr:`out_degree`."""
+        deg = np.diff(self.in_ptr)
+        deg.setflags(write=False)
+        return deg
 
-    @property
+    @cached_property
     def degree(self) -> np.ndarray:
-        """Undirected degree; for directed graphs, in + out."""
-        if self.directed:
-            return self.out_degree + self.in_degree
-        return self.out_degree
+        """Undirected degree; for directed graphs, in + out. Cached
+        read-only like :attr:`out_degree`."""
+        if not self.directed:
+            return self.out_degree
+        deg = self.out_degree + self.in_degree
+        deg.setflags(write=False)
+        return deg
 
     def out_neighbors(self, v: int) -> np.ndarray:
         """Sorted out-neighbor ids of ``v`` (a read-only view)."""
@@ -245,7 +257,7 @@ class Graph:
         # and tests only rely on the endpoint *set*, so fix a canonical
         # orientation by preferring the slot with src <= dst.
         slot_src = np.repeat(np.arange(self.n_vertices, dtype=np.int64),
-                             np.diff(self.out_ptr))
+                             self.out_degree)
         order = np.argsort(self.out_eid, kind="stable")
         eids = self.out_eid[order]
         s = slot_src[order]

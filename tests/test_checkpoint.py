@@ -410,7 +410,11 @@ class TestChaosKills:
                                                     monkeypatch):
         """SIGKILL corpus workers at random iterations; repeated
         resumed builds must complete the corpus with vectors exactly
-        matching an undisturbed build."""
+        matching an undisturbed build — and leak no shared-memory
+        segments (workers only attach; the parent owns every name)."""
+        import glob
+
+        pre_segments = set(glob.glob("/dev/shm/repro-shm-*"))
         clean = build_corpus(TINY, store=ResultStore(tmp_path / "clean"),
                              workers=1)
         assert not clean.unexpected_failures
@@ -443,6 +447,8 @@ class TestChaosKills:
 
         actual = [(v.tag, v.as_array().tolist()) for v in corpus.vectors()]
         assert sorted(actual) == sorted(expected)
+        leaked = set(glob.glob("/dev/shm/repro-shm-*")) - pre_segments
+        assert not leaked, f"chaos builds leaked shm segments: {leaked}"
 
 
 # ----------------------------------------------------------------------

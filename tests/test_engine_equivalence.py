@@ -63,10 +63,14 @@ def test_modes_produce_identical_results(algorithm):
 
 
 def test_runs_are_deterministic():
-    """Same spec + seed → bit-identical traces."""
+    """Same spec + seed → bit-identical traces (modulo wall-clock
+    provenance: timings and where the graph came from — the second run
+    resolves through the per-process graph cache)."""
     spec = SPEC_BY_DOMAIN["ga"]
     a = run_computation("pagerank", spec).to_dict()
     b = run_computation("pagerank", spec).to_dict()
-    a.pop("wall_time_s")
-    b.pop("wall_time_s")
+    for d in (a, b):
+        d.pop("wall_time_s")
+        for key in ("materialize_s", "engine_s", "graph_source"):
+            d["meta"].pop(key, None)
     assert a == b

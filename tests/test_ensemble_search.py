@@ -88,6 +88,27 @@ class TestBestEnsemble:
         # the two farthest points are in).
         assert curve[2].score >= curve[4].score >= curve[6].score
 
+    def test_curve_builds_evaluator_once(self, monkeypatch):
+        from repro.ensemble import search as search_mod
+
+        calls = []
+        original = search_mod._Evaluator.__init__
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(search_mod._Evaluator, "__init__", counting)
+        pool = random_pool(15, seed=9)
+        curve = best_ensemble_curve(pool, [2, 3, 4, 5], "spread")
+        assert len(calls) == 1, "curve must share one evaluator"
+        # Sharing the evaluator changes nothing about the results.
+        for size in (2, 5):
+            solo = best_ensemble(pool, size, "spread")
+            assert curve[size].indices == solo.indices
+            assert curve[size].score == pytest.approx(solo.score,
+                                                      rel=1e-12)
+
 
 class TestTopK:
     def test_sorted_unique(self):

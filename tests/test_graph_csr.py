@@ -90,6 +90,17 @@ class TestAdjacency:
         assert g.in_degree.tolist() == [0, 1, 2, 1]
         assert g.degree.tolist() == [2, 2, 3, 1]
 
+    def test_degrees_are_cached_and_read_only(self):
+        g = toy_graph()
+        assert g.out_degree is g.out_degree
+        assert g.in_degree is g.in_degree
+        assert g.degree is g.degree
+        for arr in (g.out_degree, g.in_degree, g.degree):
+            assert not arr.flags.writeable
+        d = toy_graph(directed=True)
+        assert d.degree is d.degree
+        assert not d.degree.flags.writeable
+
     def test_neighbors_sorted(self):
         g = toy_graph()
         assert g.neighbors(2).tolist() == [0, 1, 3]

@@ -1,0 +1,282 @@
+"""Shared-memory graph plane: publish/attach fidelity, the per-process
+graph cache, materialize-once corpus builds, and segment lifecycle
+(nothing may outlive the builder in ``/dev/shm``)."""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.behavior.run import INJECT_SLEEP_ENV
+from repro.experiments.config import ExperimentMatrix, GraphSpec, Profile
+from repro.experiments.corpus import build_corpus
+from repro.experiments.graph_cache import (
+    COUNT_MATERIALIZE_ENV,
+    GraphCache,
+    materialize_problem,
+    problem_nbytes,
+)
+from repro.experiments.results import ResultStore
+from repro.graph import shm
+
+#: Tiny profile so a full multi-process build finishes in seconds.
+TINY_PROFILE = Profile(
+    name="tiny-shm",
+    ga_sizes=(120, 240),
+    cf_sizes=(60, 120),
+    matrix_rows=(20,),
+    grid_sides=(6,),
+    mrf_edges=(24,),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=1_000,
+    seed=11,
+    alphas=(2.0, 2.5),
+)
+
+
+def _shm_segments() -> set:
+    return set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture
+def clean_plane_state():
+    """Isolate the module-level attach/install state and prove the test
+    leaked no segments."""
+    pre = _shm_segments()
+    yield
+    shm._close_attachments()
+    shm._INSTALLED_MANIFESTS.clear()
+    shm._LOCAL_PROBLEMS.clear()
+    assert _shm_segments() - pre == set()
+
+
+# ----------------------------------------------------------------------
+# Publish / attach fidelity
+# ----------------------------------------------------------------------
+class TestPublishAttach:
+    def test_roundtrip_is_bit_identical_and_read_only(self,
+                                                      clean_plane_state):
+        spec = GraphSpec.clustering(nedges=300, alpha=2.5, seed=3)
+        original = spec.generate()
+        plane = shm.GraphPlane()
+        try:
+            manifest = plane.publish(spec.cache_key(), original)
+            attached = shm.attach(manifest)
+
+            g0, g1 = original.graph, attached.graph
+            assert (g0.n_vertices, g0.n_edges, g0.directed) == \
+                (g1.n_vertices, g1.n_edges, g1.directed)
+            for name in ("out_ptr", "out_dst", "out_eid",
+                         "in_ptr", "in_src", "in_eid"):
+                arr0, arr1 = getattr(g0, name), getattr(g1, name)
+                assert arr0.dtype == arr1.dtype
+                assert np.array_equal(arr0, arr1)
+                assert not arr1.flags.writeable
+            assert set(original.inputs) == set(attached.inputs)
+            for key, value in original.inputs.items():
+                got = attached.inputs[key]
+                if isinstance(value, np.ndarray):
+                    assert np.array_equal(value, got)
+                    assert not got.flags.writeable
+                else:
+                    assert value == got
+            assert attached.params == original.params
+        finally:
+            plane.close()
+
+    def test_publish_is_idempotent_per_key(self, clean_plane_state):
+        spec = GraphSpec.ga(nedges=200, alpha=2.0, seed=1)
+        plane = shm.GraphPlane()
+        try:
+            first = plane.publish(spec.cache_key(), spec.generate())
+            second = plane.publish(spec.cache_key(), spec.generate())
+            assert first is second
+            assert len(plane) == 1
+        finally:
+            plane.close()
+
+    def test_close_unlinks_and_resolve_falls_back(self, clean_plane_state):
+        spec = GraphSpec.ga(nedges=200, alpha=2.5, seed=2)
+        key = spec.cache_key()
+        plane = shm.GraphPlane()
+        manifest = plane.publish(key, spec.generate())
+        assert f"/dev/shm/{manifest.segment}" in _shm_segments()
+        assert materialize_problem(spec)[1] == "shm"
+
+        plane.close()
+        plane.close()  # idempotent
+        assert f"/dev/shm/{manifest.segment}" not in _shm_segments()
+        # The parent-side problem is discarded with the plane, so the
+        # next resolution regenerates (or hits the LRU) instead of
+        # touching an unmapped buffer.
+        assert materialize_problem(spec)[1] in ("cache", "generated")
+
+    def test_stale_manifest_is_dropped(self, clean_plane_state):
+        spec = GraphSpec.ga(nedges=200, alpha=3.0, seed=4)
+        key = spec.cache_key()
+        plane = shm.GraphPlane()
+        manifest = plane.publish(key, spec.generate())
+        plane.close()
+        # Simulate the worker side: only a manifest, no local problem —
+        # and its segment is already gone.
+        shm.install_manifest(manifest)
+        assert shm.resolve(key) is None
+        assert key not in shm._INSTALLED_MANIFESTS
+
+    def test_publishable_rejects_object_inputs(self):
+        spec = GraphSpec.mrf(nedges=40, seed=1)
+        problem = spec.generate()
+        assert not shm.publishable(problem)  # carries a PairwiseMRF
+        assert shm.publishable(GraphSpec.ga(nedges=100, alpha=2.0,
+                                            seed=1).generate())
+
+
+# ----------------------------------------------------------------------
+# Per-process graph cache
+# ----------------------------------------------------------------------
+class TestGraphCache:
+    def _problem(self, nedges, seed=0):
+        return GraphSpec.ga(nedges=nedges, alpha=2.5, seed=seed).generate()
+
+    def test_lru_is_byte_bounded(self):
+        a = self._problem(100, seed=1)
+        b = self._problem(100, seed=2)
+        c = self._problem(100, seed=3)
+        size = problem_nbytes(a)
+        cache = GraphCache(capacity_bytes=int(size * 2.5))
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refresh a; b is now LRU
+        cache.put("c", c)
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_zero_capacity_disables_caching(self):
+        cache = GraphCache(capacity_bytes=0)
+        cache.put("a", self._problem(100))
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_oversized_problem_is_never_admitted(self):
+        problem = self._problem(200)
+        cache = GraphCache(capacity_bytes=problem_nbytes(problem) - 1)
+        cache.put("big", problem)
+        assert len(cache) == 0
+
+    def test_materialize_problem_hits_cache_second_time(
+            self, clean_plane_state, monkeypatch):
+        monkeypatch.delenv(COUNT_MATERIALIZE_ENV, raising=False)
+        spec = GraphSpec.ga(nedges=150, alpha=2.25, seed=9)
+        first, _source = materialize_problem(spec)
+        second, source = materialize_problem(spec)
+        assert source == "cache"
+        assert second is first
+        for value in second.inputs.values():
+            if isinstance(value, np.ndarray):
+                assert not value.flags.writeable
+
+
+# ----------------------------------------------------------------------
+# Materialize-once corpus builds
+# ----------------------------------------------------------------------
+class TestCorpusGraphPlane:
+    def test_parallel_build_materializes_each_graph_once(
+            self, tmp_path, monkeypatch, clean_plane_state):
+        count_dir = tmp_path / "tokens"
+        monkeypatch.setenv(COUNT_MATERIALIZE_ENV, str(count_dir))
+        lines = []
+        corpus = build_corpus(TINY_PROFILE,
+                              store=ResultStore(tmp_path / "plane"),
+                              workers=2, progress=lines.append)
+        monkeypatch.delenv(COUNT_MATERIALIZE_ENV)
+
+        assert corpus.graph_plane
+        counts = {}
+        for token in count_dir.glob("*.token"):
+            key = token.read_text(encoding="utf-8").strip()
+            counts[key] = counts.get(key, 0) + 1
+        distinct = {p.spec.cache_key()
+                    for p in ExperimentMatrix(TINY_PROFILE).corpus_runs()}
+        assert set(counts) == distinct
+        assert max(counts.values()) == 1, \
+            "a graph was materialized more than once"
+        assert corpus.premat_graphs == len(distinct)
+
+        # Per-cell timing decomposition reaches traces and progress.
+        executed = [r for r in corpus.runs if r.trace is not None]
+        assert executed
+        for run in executed:
+            assert "materialize_s" in run.trace.meta
+            assert "engine_s" in run.trace.meta
+            assert run.trace.meta["graph_source"] in ("shm", "cache",
+                                                      "generated")
+        timing = corpus.timing_decomposition()
+        assert timing is not None and timing["cells"] == len(executed)
+        assert any(" mat=" in line and " graph=" in line for line in lines)
+        assert "graph plane on" in corpus.summary()
+
+        # And the no-shm build produces bit-identical vectors.
+        plain = build_corpus(TINY_PROFILE,
+                             store=ResultStore(tmp_path / "plain"),
+                             workers=2, use_shm=False)
+        assert not plain.graph_plane
+
+        def vec(c):
+            return [(v.tag, v.as_array().tolist()) for v in c.vectors()]
+
+        assert vec(corpus) == vec(plain)
+
+    def test_shm_unavailable_falls_back_cleanly(self, tmp_path,
+                                                monkeypatch,
+                                                clean_plane_state):
+        monkeypatch.setattr(shm, "shm_available", lambda: False)
+        corpus = build_corpus(TINY_PROFILE,
+                              store=ResultStore(tmp_path / "fallback"),
+                              workers=2)
+        assert not corpus.graph_plane
+        assert corpus.premat_graphs == 0
+        total = len(ExperimentMatrix(TINY_PROFILE).corpus_runs())
+        assert len(corpus.runs) + len(corpus.failures) == total
+
+
+# ----------------------------------------------------------------------
+# Lifecycle under SIGINT (the CLI's first-^C graceful stop)
+# ----------------------------------------------------------------------
+class TestSigintLifecycle:
+    def test_first_sigint_stops_build_without_leaking_segments(
+            self, tmp_path):
+        pre = _shm_segments()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "/root/repo/src"
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        env["REPRO_PROFILE"] = "smoke"
+        # Slow every clustering cell down so the SIGINT lands mid-build
+        # (the sleep fires inside run_computation, after the plane's
+        # pre-materialization phase).
+        env[INJECT_SLEEP_ENV] = "clustering-:0.4"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "corpus", "--workers", "2",
+             "--progress"],
+            cwd=str(tmp_path), env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        try:
+            time.sleep(4.0)
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=120)
+        except Exception:
+            proc.kill()
+            proc.communicate()
+            raise
+        assert proc.returncode == 130, (stdout, stderr)
+        assert "interrupted" in stdout + stderr
+        leaked = _shm_segments() - pre
+        assert not leaked, f"SIGINT exit leaked shm segments: {leaked}"
