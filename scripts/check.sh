@@ -19,3 +19,11 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+# Telemetry-overhead smoke: a full-observability corpus build must
+# stay within 15% of a dark build (DESIGN.md §12). Skip with
+# REPRO_SKIP_BENCH=1 when iterating on unrelated code.
+if [ "${REPRO_SKIP_BENCH:-0}" != "1" ]; then
+    echo "== telemetry overhead smoke =="
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -x -q
+fi

@@ -149,8 +149,11 @@ def run_computation(
     RunTimeoutError
         If the run exceeds ``timeout_s`` of wall-clock time.
     """
+    from repro.obs.telemetry import get_telemetry, peak_rss_bytes
+
     record = info(algorithm)
     merged_options = dict(options or {})
+    tel = get_telemetry()
     with wall_clock_limit(timeout_s) as enforcement:
         if isinstance(spec_or_problem, ProblemInstance):
             problem = spec_or_problem
@@ -166,9 +169,10 @@ def run_computation(
             # the same way it covered a (slow) regeneration.
             from repro.experiments.graph_cache import materialize_problem
 
-            materialize_started = time.perf_counter()
-            problem, graph_source = materialize_problem(spec_or_problem)
-            materialize_s = time.perf_counter() - materialize_started
+            with tel.span("materialize") as mat_span:
+                problem, graph_source = materialize_problem(spec_or_problem)
+                mat_span.set(source=graph_source)
+            materialize_s = mat_span.seconds
         else:
             raise ValidationError(
                 f"expected GraphSpec or ProblemInstance, got "
@@ -190,11 +194,16 @@ def run_computation(
         program = create(algorithm, **(params or {}))
         engine = SynchronousEngine(
             build_engine_options(algorithm, merged_options))
-        engine_started = time.perf_counter()
-        trace = engine.run(program, problem)
+        with tel.span("engine_run", algorithm=algorithm) as run_span:
+            trace = engine.run(program, problem)
+            run_span.set(engine=trace.engine)
+        engine_s = run_span.seconds
         trace.meta["materialize_s"] = materialize_s
-        trace.meta["engine_s"] = time.perf_counter() - engine_started
+        trace.meta["engine_s"] = engine_s
         trace.meta["graph_source"] = graph_source
         trace.meta["timeout_requested_s"] = timeout_s
         trace.meta["timeout_enforced"] = enforcement.enforced
+        if tel.enabled:
+            tel.inc("runs_total", algorithm=algorithm)
+            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
         return trace

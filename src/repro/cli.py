@@ -15,6 +15,11 @@ Commands
 ``design``
     Search the corpus for the best benchmark ensemble under spread or
     coverage, optionally restricted to chosen algorithms.
+``stats``
+    Summarize the telemetry of a run directory: per-phase time
+    breakdown, failure taxonomy, cache hit rates, iteration latency.
+``tail``
+    Print (and optionally follow) the structured event log of a run.
 """
 
 from __future__ import annotations
@@ -72,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "if one exists")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write the full trace as JSON")
+    _add_obs_arguments(run)
 
     cha = sub.add_parser("characterize",
                          help="sweep (nedges, α) for one algorithm")
@@ -123,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-process graph cache capacity (default: "
                           "$REPRO_GRAPH_CACHE_BYTES or 256 MiB; 0 "
                           "disables)")
+    _add_obs_arguments(cor)
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -146,9 +153,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="assemble benchmark artifacts into one document")
     rep.add_argument("--artifacts", default="benchmarks/artifacts",
                      help="directory of *.txt artifacts")
+    rep.add_argument("--store", default=None, metavar="DIR",
+                     help="result-store directory whose cached traces "
+                          "feed the run-metadata section (default: "
+                          "$REPRO_CACHE_DIR or ./.repro_cache)")
     rep.add_argument("--out", default=None,
                      help="output path (default: stdout)")
+
+    sta = sub.add_parser(
+        "stats", help="summarize the telemetry of a run directory")
+    sta.add_argument("run_dir",
+                     help="observability directory (or its parent) "
+                          "holding telemetry.json / events.jsonl")
+
+    tai = sub.add_parser(
+        "tail", help="print or follow a run's structured event log")
+    tai.add_argument("run_dir",
+                     help="observability directory (or its parent) "
+                          "holding events.jsonl")
+    tai.add_argument("-n", "--lines", type=int, default=20, metavar="N",
+                     help="events to show from the end (default: 20)")
+    tai.add_argument("--follow", action="store_true",
+                     help="keep printing new events as they land")
+    tai.add_argument("--for", dest="duration", type=float, default=None,
+                     metavar="SECONDS",
+                     help="with --follow, stop after this long "
+                          "(default: until Ctrl-C)")
+    tai.add_argument("--raw", action="store_true",
+                     help="print raw JSON events instead of formatted "
+                          "lines")
     return parser
+
+
+def _add_obs_arguments(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--obs", choices=("off", "basic", "full"), default=None,
+        help="telemetry level (default: $REPRO_OBS or off); 'basic' "
+             "records sampled metrics only, 'full' adds per-span "
+             "events")
+    sub_parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="telemetry output directory (default: $REPRO_OBS_DIR, or "
+             "<store>/obs for corpus builds, or ./.repro_obs)")
 
 
 def _cmd_algorithms(_args) -> int:
@@ -174,6 +220,49 @@ def _spec_for(args, domain: str):
         return GraphSpec.for_domain(domain, nedges=args.nedges,
                                     alpha=args.alpha, seed=args.seed)
     return GraphSpec.for_domain(domain, nrows=args.nrows, seed=args.seed)
+
+
+def _configure_cli_obs(args) -> "tuple | None":
+    """Install global telemetry for a one-shot command, if requested.
+
+    Returns ``(obs_path, run_id, level)`` when telemetry is on, else
+    None. The caller must pair this with :func:`_export_cli_obs` in a
+    ``finally`` block so even a failed run leaves inspectable output.
+    """
+    import os
+    import uuid
+    from pathlib import Path
+
+    from repro.obs.events import EVENTS_FILENAME
+    from repro.obs.telemetry import OBS_DIR_ENV, configure, resolve_obs_level
+
+    level = resolve_obs_level(args.obs)
+    if level == "off":
+        return None
+    obs_path = Path(args.obs_dir or os.environ.get(OBS_DIR_ENV)
+                    or ".repro_obs")
+    run_id = uuid.uuid4().hex[:12]
+    tel = configure(level, run_id=run_id,
+                    events_path=obs_path / EVENTS_FILENAME)
+    tel.emit("run_start", command=args.command,
+             algorithm=getattr(args, "algorithm", None), level=level)
+    return obs_path, run_id, level
+
+
+def _export_cli_obs(obs_state: "tuple | None") -> None:
+    """Write the exporters and tear down global telemetry."""
+    if obs_state is None:
+        return
+    obs_path, run_id, level = obs_state
+    from repro.obs.export import write_prometheus, write_telemetry_json
+    from repro.obs.telemetry import deactivate, get_telemetry
+
+    tel = get_telemetry()
+    tel.emit("run_end", runs=tel.counter_total("runs_total"))
+    snapshot = tel.snapshot()
+    write_telemetry_json(obs_path, snapshot, run=run_id, level=level)
+    write_prometheus(obs_path, snapshot)
+    deactivate()
 
 
 def _cmd_run(args) -> int:
@@ -206,7 +295,11 @@ def _cmd_run(args) -> int:
             key=f"{args.algorithm}-{spec.cache_key()}",
             resume=args.from_checkpoint,
         )
-    trace = run_computation(args.algorithm, spec, options=options)
+    obs_state = _configure_cli_obs(args)
+    try:
+        trace = run_computation(args.algorithm, spec, options=options)
+    finally:
+        _export_cli_obs(obs_state)
     print(trace.summary())
     resumed = trace.meta.get("resumed_from_iteration")
     if resumed is not None:
@@ -215,6 +308,12 @@ def _cmd_run(args) -> int:
     print(f"  behavior: <updt={m.updt:.4g}, work={m.work:.4g}, "
           f"eread={m.eread:.4g}, msg={m.msg:.4g}>")
     print(f"  activity shape: {classify_activity_shape(trace).value}")
+    enforced = "yes" if trace.meta.get("timeout_enforced") else "no"
+    print(f"  harness: graph_source={trace.meta.get('graph_source', '?')} "
+          f"timeout_enforced={enforced}")
+    if obs_state is not None:
+        print(f"  telemetry: {obs_state[0]} "
+              f"(inspect with `repro stats {obs_state[0]}`)")
     if args.json:
         trace.to_json(args.json)
         print(f"  trace written to {args.json}")
@@ -312,7 +411,8 @@ def _cmd_corpus(args) -> int:
                               checkpoint_every=args.checkpoint_every,
                               stop_requested=governor.stop_requested,
                               use_shm=not args.no_shm,
-                              graph_cache_bytes=args.graph_cache_bytes)
+                              graph_cache_bytes=args.graph_cache_bytes,
+                              obs=args.obs, obs_dir=args.obs_dir)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
     if corpus.interrupted:
@@ -371,6 +471,9 @@ def _cmd_report(args) -> int:
     for path in sorted(root.glob("*.txt")):
         body = path.read_text(encoding="utf-8").rstrip()
         sections.append(f"## {path.stem}\n\n```\n{body}\n```")
+    metadata = _run_metadata_section(args.store)
+    if metadata:
+        sections.append(metadata)
     document = ("# Regenerated paper artifacts\n\n"
                 + "\n\n".join(sections) + "\n")
     if args.out:
@@ -378,6 +481,61 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.out} ({len(sections)} artifacts)")
     else:
         print(document)
+    return 0
+
+
+def _run_metadata_section(store_dir: "str | None") -> "str | None":
+    """Markdown section summarizing how each cached run executed.
+
+    Surfaces the harness facts behavior analysis ignores —
+    ``graph_source`` (shm / cache / generated) and
+    ``timeout_enforced`` (SIGALRM vs cooperative deadline) — so a
+    report reader can judge whether runs shared inputs and whether the
+    wall-clock limit was actually armed.
+    """
+    from repro.experiments.reporting import format_table
+    from repro.experiments.results import ResultStore
+
+    rows = []
+    for trace in ResultStore(store_dir).iter_traces():
+        enforced = "yes" if trace.meta.get("timeout_enforced") else "no"
+        rows.append((trace.label, trace.engine, trace.n_iterations,
+                     str(trace.meta.get("graph_source", "-")), enforced))
+    if not rows:
+        return None
+    sources = sorted({row[3] for row in rows})
+    table = format_table(
+        ["run", "engine", "iters", "graph source", "timeout enforced"],
+        sorted(rows),
+        title=f"Run metadata ({len(rows)} cached traces; "
+              f"graph sources: {', '.join(sources)})")
+    return f"## run-metadata\n\n```\n{table}\n```"
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.stats import render_stats
+
+    print(render_stats(args.run_dir))
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    import json as _json
+
+    from repro.obs.events import follow_events, read_all_events
+    from repro.obs.stats import format_event, resolve_run_dir
+
+    obs_dir = resolve_run_dir(args.run_dir)
+    render = ((lambda e: _json.dumps(e, sort_keys=True)) if args.raw
+              else format_event)
+    for event in read_all_events(obs_dir)[-args.lines:]:
+        print(render(event))
+    if args.follow:
+        try:
+            for event in follow_events(obs_dir, duration_s=args.duration):
+                print(render(event), flush=True)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -398,6 +556,8 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "design": _cmd_design,
     "report": _cmd_report,
+    "stats": _cmd_stats,
+    "tail": _cmd_tail,
 }
 
 

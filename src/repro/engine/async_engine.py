@@ -59,6 +59,7 @@ from repro.engine.health import (
 )
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
+from repro.obs.telemetry import engine_observer
 
 SCHEDULERS = ("fifo", "priority")
 
@@ -239,6 +240,12 @@ class AsynchronousEngine:
                 elapsed_s=elapsed_before + time.perf_counter() - started,
                 extra={"scheduler": scheduler, "steps": steps})
 
+        # Async phases interleave per step, so telemetry samples at
+        # *round* granularity: one timing observation per sampled round.
+        obs = engine_observer("asynchronous", program.name)
+        round_sampled = obs is not None and obs.sampled(round_index)
+        round_mark = time.perf_counter() if round_sampled else 0.0
+
         stop_reason = "max-steps"
         while len(scheduler):
             if steps >= opts.max_steps:
@@ -268,6 +275,15 @@ class AsynchronousEngine:
                     messages=round_msgs,
                     work=round_work,
                 ))
+                if obs is not None:
+                    obs.iteration(
+                        iteration=round_index, active=round_steps,
+                        updates=round_steps, edge_reads=round_reads,
+                        messages=round_msgs,
+                        seconds=(time.perf_counter() - round_mark
+                                 if round_sampled else None),
+                        phases=({"round": time.perf_counter() - round_mark}
+                                if round_sampled else None))
                 # No frontier in the async signature: a round is an
                 # arbitrary |V|-step slice of the scheduler churn, so
                 # its vertex set varies even when the computation makes
@@ -281,6 +297,8 @@ class AsynchronousEngine:
                 round_index += 1
                 round_steps = round_reads = round_msgs = 0
                 round_work = 0.0
+                round_sampled = obs is not None and obs.sampled(round_index)
+                round_mark = time.perf_counter() if round_sampled else 0.0
                 if verdict is not None:
                     mark_degraded(trace, verdict)
                     if session is not None:

@@ -254,22 +254,38 @@ class SnapshotStore:
 
     def save(self, key: str, snapshot: Snapshot) -> Path:
         """Publish a new latest generation, demoting the old one."""
+        from repro.obs.telemetry import get_telemetry
+
+        started = time.perf_counter()
         latest = self._latest_path(key)
         latest.parent.mkdir(parents=True, exist_ok=True)
         tmp = latest.with_name(
             f"{latest.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         try:
-            tmp.write_bytes(self._encode(snapshot))
+            blob = self._encode(snapshot)
+            tmp.write_bytes(blob)
             if latest.exists():
                 os.replace(latest, self._prev_path(key))
             os.replace(tmp, latest)
         finally:
             if tmp.exists():
                 tmp.unlink(missing_ok=True)
+        tel = get_telemetry()
+        if tel.enabled:
+            elapsed = time.perf_counter() - started
+            tel.inc("checkpoint_publishes_total")
+            tel.inc("checkpoint_published_bytes_total", len(blob))
+            tel.observe("checkpoint_publish_seconds", elapsed)
+            if tel.full:
+                tel.emit("checkpoint", action="publish", key=key,
+                         iteration=snapshot.iteration,
+                         bytes=len(blob), seconds=elapsed)
         return latest
 
     def quarantine(self, path: Path) -> "Path | None":
         """Move a corrupt snapshot aside; None if it vanished first."""
+        from repro.obs.telemetry import get_telemetry
+
         dest = self.quarantine_dir / (
             f"{path.stem}.{os.getpid()}.{uuid.uuid4().hex[:8]}{path.suffix}")
         try:
@@ -277,6 +293,10 @@ class SnapshotStore:
             os.replace(path, dest)
         except FileNotFoundError:
             return None
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("checkpoint_quarantined_total")
+            tel.emit("checkpoint", action="quarantine", file=str(path.name))
         return dest
 
     def _load_one(self, path: Path) -> "Snapshot | None":
@@ -300,10 +320,22 @@ class SnapshotStore:
         A corrupt latest generation falls back to the previous one;
         corrupt files are quarantined, never consumed and never fatal.
         """
+        from repro.obs.telemetry import get_telemetry
+
+        started = time.perf_counter()
         snapshot = self._load_one(self._latest_path(key))
+        if snapshot is None:
+            snapshot = self._load_one(self._prev_path(key))
         if snapshot is not None:
-            return snapshot
-        return self._load_one(self._prev_path(key))
+            tel = get_telemetry()
+            if tel.enabled:
+                elapsed = time.perf_counter() - started
+                tel.inc("checkpoint_restores_total")
+                tel.observe("checkpoint_restore_seconds", elapsed)
+                if tel.full:
+                    tel.emit("checkpoint", action="restore", key=key,
+                             iteration=snapshot.iteration, seconds=elapsed)
+        return snapshot
 
     def latest_iteration(self, key: str) -> "int | None":
         """Resume point of the newest readable snapshot, or None."""

@@ -49,6 +49,7 @@ from repro.engine.health import (
 )
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
+from repro.obs.telemetry import engine_observer
 
 _REDUCE_AT = {
     "min": np.minimum.at,
@@ -134,6 +135,7 @@ class EdgeCentricEngine:
         )
         monitor = build_monitor(opts)
         deadline = Deadline(opts.wall_clock_budget_s)
+        obs = engine_observer("edge-centric", program.name)
 
         from repro._util.segments import REDUCE_IDENTITY
 
@@ -178,6 +180,9 @@ class EdgeCentricEngine:
                 trace.converged = True
                 break
             ctx.iteration = iteration
+            sampled = obs is not None and obs.sampled(iteration)
+            phase_times: "dict[str, float] | None" = {} if sampled else None
+            mark = time.perf_counter() if sampled else 0.0
 
             # ---- Stream phase: touch EVERY arc; act on live sources.
             live = source_live[src]
@@ -189,10 +194,18 @@ class EdgeCentricEngine:
                     dtype=np.float64)
                 reduce_at(acc, tgt[live], contributions)
             edge_reads = int(src.size)  # the stream reads all arcs
+            if sampled:
+                now = time.perf_counter()
+                phase_times["stream"] = now - mark
+                mark = now
 
             # ---- Apply on the synchronous frontier (same set the
             # synchronous engine would apply to).
             program.apply(ctx, frontier, acc[frontier])
+            if sampled:
+                now = time.perf_counter()
+                phase_times["apply"] = now - mark
+                mark = now
 
             # ---- Scatter: same signal semantics as the sync engine.
             from repro._util.segments import concat_ranges
@@ -226,6 +239,16 @@ class EdgeCentricEngine:
                 messages=int(mask.sum()),
                 work=work,
             ))
+            if obs is not None:
+                if sampled:
+                    phase_times["scatter"] = time.perf_counter() - mark
+                obs.iteration(
+                    iteration=iteration, active=int(frontier.size),
+                    updates=int(frontier.size), edge_reads=edge_reads,
+                    messages=int(mask.sum()),
+                    seconds=(sum(phase_times.values())
+                             if sampled else None),
+                    phases=phase_times)
             verdict = monitor.observe(program, iteration=iteration,
                                       frontier=frontier, work=work)
             if verdict is not None:

@@ -53,6 +53,7 @@ from repro.engine.health import (
 )
 from repro.engine.instrumentation import Counters, WorkModel
 from repro.engine.program import Direction, VertexProgram
+from repro.obs.telemetry import engine_observer
 from repro.generators.problem import ProblemInstance
 
 
@@ -159,6 +160,7 @@ class SynchronousEngine:
 
         monitor = build_monitor(opts)
         deadline = Deadline(opts.wall_clock_budget_s)
+        obs = engine_observer("synchronous", program.name)
 
         session = CheckpointSession.begin(opts.checkpoint)
         start_iteration = 0
@@ -191,7 +193,14 @@ class SynchronousEngine:
                 break
             ctx.iteration = iteration
             active = frontier
-            counters, frontier = self._iterate(program, ctx, frontier)
+            # Telemetry is observational only: phase timing is sampled
+            # (obs level dependent) and never feeds back into counters,
+            # so the unit work model stays bit-reproducible.
+            sampled = obs is not None and obs.sampled(iteration)
+            phase_times: "dict[str, float] | None" = {} if sampled else None
+            obs_started = time.perf_counter() if sampled else 0.0
+            counters, frontier = self._iterate(program, ctx, frontier,
+                                               phase_times)
             monitor.inject_state_fault(program, iteration)
             counters.edge_reads = monitor.inject_edge_reads(
                 counters.edge_reads, iteration)
@@ -203,6 +212,15 @@ class SynchronousEngine:
                 messages=counters.messages,
                 work=counters.work,
             ))
+            if obs is not None:
+                obs.iteration(
+                    iteration=iteration, active=counters.active,
+                    updates=counters.updates,
+                    edge_reads=counters.edge_reads,
+                    messages=counters.messages,
+                    seconds=(time.perf_counter() - obs_started
+                             if sampled else None),
+                    phases=phase_times)
             verdict = monitor.observe(program, iteration=iteration,
                                       frontier=active, work=counters.work)
             if verdict is not None:
@@ -233,9 +251,12 @@ class SynchronousEngine:
         program: VertexProgram,
         ctx: Context,
         frontier: np.ndarray,
+        phase_times: "dict[str, float] | None" = None,
     ) -> tuple[Counters, np.ndarray]:
         counters = Counters(active=int(frontier.size))
         graph = ctx.graph
+        timed = phase_times is not None
+        mark = time.perf_counter() if timed else 0.0
 
         # ---- Gather -------------------------------------------------
         acc: np.ndarray | None = None
@@ -248,6 +269,10 @@ class SynchronousEngine:
                 acc, n_reads = self._gather_reference(
                     program, ctx, frontier, ptr, idx, eid)
             counters.edge_reads += n_reads
+        if timed:
+            now = time.perf_counter()
+            phase_times["gather"] = now - mark
+            mark = now
 
         # ---- Apply --------------------------------------------------
         counters.updates += int(frontier.size)
@@ -263,6 +288,10 @@ class SynchronousEngine:
                     program.apply(ctx, frontier[i:i + 1], row)
         if self.options.work_model == "measured":
             counters.work += sw.total
+        if timed:
+            now = time.perf_counter()
+            phase_times["apply"] = now - mark
+            mark = now
 
         # ---- Scatter ------------------------------------------------
         signaled = np.empty(0, dtype=np.int64)
@@ -286,6 +315,8 @@ class SynchronousEngine:
             counters.work += unit * self.options.unit_scale
         nxt = self._canonical_frontier(
             program.select_next_frontier(ctx, signaled), graph.n_vertices)
+        if timed:
+            phase_times["scatter"] = time.perf_counter() - mark
         return counters, nxt
 
     # ------------------------------------------------------------------

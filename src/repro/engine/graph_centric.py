@@ -49,6 +49,7 @@ from repro.engine.health import (
 )
 from repro.engine.program import Direction, VertexProgram
 from repro.generators.problem import ProblemInstance
+from repro.obs.telemetry import engine_observer
 
 
 @dataclass
@@ -150,6 +151,10 @@ class GraphCentricEngine:
                 elapsed_s=elapsed_before + time.perf_counter() - started,
                 extra={"frontier": frontier})
 
+        # Inner sweeps interleave gather/apply/scatter per partition, so
+        # telemetry samples one "local-compute" timing per superstep.
+        obs = engine_observer("graph-centric", program.name)
+
         stop_reason = "max-supersteps"
         for superstep in range(start_superstep, opts.max_supersteps):
             deadline.check()
@@ -158,6 +163,8 @@ class GraphCentricEngine:
                 trace.converged = True
                 break
             ctx.iteration = superstep
+            sampled = obs is not None and obs.sampled(superstep)
+            obs_started = time.perf_counter() if sampled else 0.0
 
             updates = 0
             reads = 0
@@ -224,6 +231,15 @@ class GraphCentricEngine:
                 messages=cross_msgs,
                 work=work,
             ))
+            if obs is not None:
+                elapsed = (time.perf_counter() - obs_started
+                           if sampled else None)
+                obs.iteration(
+                    iteration=superstep, active=updates, updates=updates,
+                    edge_reads=reads, messages=cross_msgs,
+                    seconds=elapsed,
+                    phases=({"local-compute": elapsed}
+                            if sampled else None))
             verdict = monitor.observe(program, iteration=superstep,
                                       frontier=frontier, work=work)
             if verdict is not None:

@@ -360,6 +360,17 @@ class HealthMonitor:
         if verdict is None:
             return None
         self.verdict = verdict
+        # Watchdog trips are telemetry events regardless of policy —
+        # recorded before the strict path raises.
+        from repro.obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("health_trips_total", condition=verdict.condition,
+                    policy=self.policy, algorithm=program.name)
+            tel.emit("health", condition=verdict.condition,
+                     policy=self.policy, algorithm=program.name,
+                     iteration=verdict.iteration, detail=verdict.detail)
         if self.policy == "strict":
             if verdict.condition == "numeric":
                 raise NumericError(

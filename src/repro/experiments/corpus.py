@@ -10,11 +10,13 @@ largest-size runs failing on the engine memory budget.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.behavior.metrics import BehaviorMetrics, compute_metrics
 from repro.behavior.run import run_computation
@@ -40,6 +42,20 @@ from repro.experiments.graph_cache import (
 )
 from repro.experiments.results import ResultStore
 from repro.graph import shm
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    merge_sinks,
+    worker_sink_path,
+)
+from repro.obs.export import write_prometheus, write_telemetry_json
+from repro.obs.telemetry import (
+    OBS_DIR_ENV,
+    configure,
+    deactivate,
+    get_telemetry,
+    peak_rss_bytes,
+    resolve_obs_level,
+)
 
 
 @dataclass
@@ -58,6 +74,10 @@ class CorpusRun:
     #: executed cells; the trace itself carries ``materialize_s`` and
     #: ``engine_s`` in its meta).
     store_s: "float | None" = None
+    #: Pool mode only: the worker registry's metric delta for this
+    #: cell (``Telemetry.drain()``), merged into the parent registry
+    #: on collection and then dropped.
+    obs_snapshot: "dict | None" = None
 
     @property
     def ok(self) -> bool:
@@ -86,6 +106,11 @@ class BehaviorCorpus:
     #: Graphs pre-materialized and published, and the time that took.
     premat_graphs: int = 0
     premat_seconds: float = 0.0
+    #: Telemetry identifiers when the build ran with ``obs != "off"``:
+    #: the run id stamped on every event, and the directory holding the
+    #: event log plus the exported ``telemetry.json``/``metrics.prom``.
+    run_id: "str | None" = None
+    obs_dir: "str | None" = None
 
     @property
     def n_runs(self) -> int:
@@ -197,6 +222,9 @@ class BehaviorCorpus:
         for fail in self.failures:
             lines.append(f"  FAILED {fail.algorithm}@{fail.spec.label}: "
                          f"{fail.failure}")
+        if self.obs_dir is not None:
+            lines.append(f"  telemetry: {self.obs_dir} "
+                         f"(inspect with `repro stats {self.obs_dir}`)")
         return "\n".join(lines)
 
 
@@ -278,13 +306,28 @@ def execute_planned_run(
             key=key,
         )
 
+    tel = get_telemetry()
+    cell = f"{planned.algorithm}@{planned.spec.label}"
+
     if store is not None:
         cached = store.load(key)  # corrupt entries quarantine -> miss
         if cached is not None:
+            if tel.enabled:
+                status = "degraded" if cached.degraded else "ok"
+                tel.inc("corpus_cells_total", status=status,
+                        source="cache")
+                tel.emit("cell_end", cell=cell, status=status,
+                         source="cache",
+                         graph_source=cached.meta.get("graph_source"))
             return CorpusRun(planned.algorithm, planned.spec, cached,
                              compute_metrics(cached), source="cache")
         prior = store.load_failure(key)
         if prior is not None and not (resume and prior.retryable):
+            if tel.enabled:
+                tel.inc("corpus_cells_total", status="failed",
+                        source="cache")
+                tel.emit("cell_end", cell=cell, status="failed",
+                         source="cache", failure_kind=prior.kind)
             return CorpusRun(planned.algorithm, planned.spec, None, None,
                              failure=prior, source="cache")
 
@@ -293,12 +336,17 @@ def execute_planned_run(
             return -1
         return snap_store.latest_iteration(key) or -1
 
+    if tel.enabled:
+        tel.set_context(cell=cell, attempt=1)
+        tel.emit("cell_start", timeout_s=timeout_s, retries=retries)
     attempts = 0
     stalled_attempts = 0
     last_progress = snapshot_progress()
     backoff = profile.retry_backoff_s
     while True:
         attempts += 1
+        if tel.enabled:
+            tel.set_context(cell=cell, attempt=attempts)
         try:
             trace = run_computation(planned.algorithm, planned.spec,
                                     params=params, options=options,
@@ -320,18 +368,48 @@ def execute_planned_run(
             else:
                 stalled_attempts += 1
             if failure.retryable and stalled_attempts <= retries:
+                if tel.enabled:
+                    tel.inc("corpus_retries_total")
+                    tel.emit("retry", failure_kind=failure.kind,
+                             backoff_s=backoff)
                 time.sleep(backoff)
                 backoff *= 2
                 continue
             if store is not None:
                 store.save_failure(key, failure)
+            if tel.enabled:
+                tel.inc("corpus_failures_total", kind=failure.kind)
+                tel.inc("corpus_cells_total", status="failed",
+                        source="run")
+                tel.emit("cell_end", status="failed", source="run",
+                         failure_kind=failure.kind, attempts=attempts)
+                tel.set_context()
             return CorpusRun(planned.algorithm, planned.spec, None, None,
                              failure=failure)
         store_s = 0.0
         if store is not None:
-            store_started = time.perf_counter()
-            store.save(key, trace)
-            store_s = time.perf_counter() - store_started
+            with tel.span("corpus_store",
+                          algorithm=planned.algorithm) as store_span:
+                store.save(key, trace)
+            store_s = store_span.seconds
+        if tel.enabled:
+            status = "degraded" if trace.degraded else "ok"
+            mat_s = float(trace.meta.get("materialize_s", 0.0))
+            eng_s = float(trace.meta.get("engine_s", 0.0))
+            tel.inc("corpus_cells_total", status=status, source="run")
+            tel.inc("corpus_cell_seconds_total", mat_s,
+                    phase="materialize")
+            tel.inc("corpus_cell_seconds_total", eng_s, phase="engine")
+            tel.inc("corpus_cell_seconds_total", store_s, phase="store")
+            tel.observe("corpus_cell_seconds", mat_s + eng_s + store_s,
+                        algorithm=planned.algorithm)
+            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
+            tel.emit("cell_end", status=status, source="run",
+                     attempts=attempts, materialize_s=mat_s,
+                     engine_s=eng_s, store_s=store_s,
+                     graph_source=trace.meta.get("graph_source"),
+                     wall_s=float(trace.wall_time_s))
+            tel.set_context()
         return CorpusRun(planned.algorithm, planned.spec, trace,
                          compute_metrics(trace), store_s=store_s)
 
@@ -363,18 +441,50 @@ def _isolated_execute(
                          failure=RunFailure.from_exception(exc))
 
 
+def _configure_worker_obs(obs_level: "str | None",
+                          obs_dir: "str | None",
+                          run_id: "str | None") -> None:
+    """Point this pool worker's telemetry at its own sink file.
+
+    Workers are forked, so they inherit the parent's registry (and its
+    open handle on the parent's event log) — the first cell in each
+    worker swaps that for a fresh registry writing to
+    ``<obs_dir>/sinks/events-<pid>.jsonl``; later cells in the same
+    worker keep accumulating into it.
+    """
+    if not obs_level or obs_level == "off" or obs_dir is None:
+        return
+    tel = get_telemetry()
+    if (tel.run_id == run_id and tel.events is not None
+            and tel.events.path == worker_sink_path(obs_dir, os.getpid())):
+        return
+    configure(obs_level, run_id=run_id,
+              events_path=worker_sink_path(obs_dir, os.getpid()))
+
+
 def _worker_execute(payload: tuple) -> "CorpusRun":
     """Module-level worker for process pools (must be picklable)."""
     (planned, profile, store_root, timeout_s, retries, resume,
      health_policy, health_check_every, checkpoint_dir,
-     checkpoint_every, manifest, graph_cache_bytes) = payload
+     checkpoint_every, manifest, graph_cache_bytes,
+     obs_level, obs_dir, run_id) = payload
+    _configure_worker_obs(obs_level, obs_dir, run_id)
     configure_default_cache(graph_cache_bytes)
     if manifest is not None:
         shm.install_manifest(manifest)
     store = ResultStore(store_root) if store_root is not None else None
-    return _isolated_execute(planned, profile, store, timeout_s, retries,
-                             resume, health_policy, health_check_every,
-                             checkpoint_dir, checkpoint_every)
+    result = _isolated_execute(planned, profile, store, timeout_s, retries,
+                               resume, health_policy, health_check_every,
+                               checkpoint_dir, checkpoint_every)
+    tel = get_telemetry()
+    if tel.enabled:
+        # The cell's metric delta rides back on the result (a few KB)
+        # and the worker registry restarts at zero — serialising a
+        # cumulative snapshot per cell would grow O(cells²). A killed
+        # worker loses only its in-flight cell's metrics: every
+        # completed cell was already delivered through its future.
+        result.obs_snapshot = tel.drain()
+    return result
 
 
 def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
@@ -397,30 +507,72 @@ def _pool_worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
-def _progress_line(run: CorpusRun, done: int, total: int) -> str:
-    """One structured progress line per completed cell."""
-    head = f"[{done}/{total}] {run.algorithm}@{run.spec.label}:"
+def progress_event(run: CorpusRun, done: int, total: int) -> dict:
+    """Structured progress payload for one completed cell.
+
+    This is the single source of truth for progress reporting: the
+    event goes to the telemetry log verbatim and the human-readable
+    line is :func:`format_progress` applied to it — the two can never
+    drift apart (and a regression test holds them together).
+    """
+    event: dict[str, Any] = {
+        "done": done,
+        "total": total,
+        "algorithm": run.algorithm,
+        "label": run.spec.label,
+        "source": run.source,
+    }
     if run.ok:
-        status = "ok"
         if run.trace.degraded:
-            condition = run.trace.health.get("condition", "?")
-            status = f"degraded health={condition}"
-        line = f"{head} status={status} source={run.source}"
+            event["status"] = "degraded"
+            event["condition"] = run.trace.health.get("condition", "?")
+        else:
+            event["status"] = "ok"
         if run.source == "run":
-            line += f" t={run.trace.wall_time_s:.2f}s"
+            event["wall_s"] = float(run.trace.wall_time_s)
             meta = run.trace.meta
             if "materialize_s" in meta:
+                event["materialize_s"] = float(meta["materialize_s"])
+                event["engine_s"] = float(meta["engine_s"])
+                event["store_s"] = float(run.store_s or 0.0)
+                event["graph_source"] = str(meta.get("graph_source", "?"))
+    else:
+        event["status"] = "failed"
+        # "kind" is reserved for the event kind itself ("progress"),
+        # so the failure taxonomy kind travels as "failure_kind".
+        event["failure_kind"] = run.failure.kind
+        event["attempts"] = run.failure.attempts
+        event["message"] = str(run.failure.message)
+    return event
+
+
+def format_progress(event: dict) -> str:
+    """Render a :func:`progress_event` payload as the human line."""
+    head = (f"[{event['done']}/{event['total']}] "
+            f"{event['algorithm']}@{event['label']}:")
+    if event["status"] != "failed":
+        status = event["status"]
+        if status == "degraded":
+            status = f"degraded health={event.get('condition', '?')}"
+        line = f"{head} status={status} source={event['source']}"
+        if event["source"] == "run":
+            line += f" t={event['wall_s']:.2f}s"
+            if "materialize_s" in event:
                 # Timing decomposition: a slow cell is attributable to
                 # graph materialization vs engine vs store at a glance.
-                line += (f" mat={meta['materialize_s']:.2f}s"
-                         f" eng={meta['engine_s']:.2f}s"
-                         f" st={run.store_s or 0.0:.2f}s"
-                         f" graph={meta.get('graph_source', '?')}")
+                line += (f" mat={event['materialize_s']:.2f}s"
+                         f" eng={event['engine_s']:.2f}s"
+                         f" st={event['store_s']:.2f}s"
+                         f" graph={event['graph_source']}")
         return line
-    failure = run.failure
-    return (f"{head} status=failed kind={failure.kind} "
-            f"attempts={failure.attempts} source={run.source}: "
-            f"{failure.message}")
+    return (f"{head} status=failed kind={event['failure_kind']} "
+            f"attempts={event['attempts']} source={event['source']}: "
+            f"{event['message']}")
+
+
+def _progress_line(run: CorpusRun, done: int, total: int) -> str:
+    """One structured progress line per completed cell."""
+    return format_progress(progress_event(run, done, total))
 
 
 def _affinity_order(plan: "list[PlannedRun]") -> "list[PlannedRun]":
@@ -479,6 +631,8 @@ def build_corpus(
     stop_requested: "Callable[[], bool] | None" = None,
     use_shm: bool = True,
     graph_cache_bytes: "int | None" = None,
+    obs: "str | None" = None,
+    obs_dir: "str | Path | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -528,6 +682,16 @@ def build_corpus(
     graph_cache_bytes:
         Capacity of the per-process graph LRU cache (None keeps the
         default / ``$REPRO_GRAPH_CACHE_BYTES``; 0 disables caching).
+    obs:
+        Observability level — ``"off"`` (default), ``"basic"`` (sampled
+        metrics), or ``"full"`` (every iteration timed + span events);
+        None resolves ``$REPRO_OBS``. Telemetry is purely
+        observational: behavior vectors under the ``unit`` work model
+        are bit-identical across levels.
+    obs_dir:
+        Directory for the event log and exported ``telemetry.json`` /
+        ``metrics.prom`` (default: ``$REPRO_OBS_DIR``, else ``obs/``
+        under the result store, else ``./.repro_obs``).
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -538,6 +702,27 @@ def build_corpus(
     started = time.perf_counter()
     plan = _affinity_order(matrix.corpus_runs())
     configure_default_cache(graph_cache_bytes)
+
+    obs_level = resolve_obs_level(obs)
+    obs_path: "Path | None" = None
+    run_id: "str | None" = None
+    if obs_level != "off":
+        if obs_dir is not None:
+            obs_path = Path(obs_dir)
+        elif os.environ.get(OBS_DIR_ENV):
+            obs_path = Path(os.environ[OBS_DIR_ENV])
+        elif store is not None:
+            obs_path = store.root / "obs"
+        else:
+            obs_path = Path(".repro_obs")
+        run_id = uuid.uuid4().hex[:12]
+        corpus.run_id = run_id
+        corpus.obs_dir = str(obs_path)
+        tel = configure(obs_level, run_id=run_id,
+                        events_path=obs_path / EVENTS_FILENAME)
+        tel.emit("build_start", profile=profile.name, workers=workers,
+                 planned=len(plan), level=obs_level)
+    tel = get_telemetry()
 
     def stopped() -> bool:
         return stop_requested is not None and stop_requested()
@@ -598,7 +783,11 @@ def build_corpus(
             corpus.graph_plane = plane is not None
             corpus.premat_graphs = len(manifests)
             corpus.premat_seconds = time.perf_counter() - premat_started
+            tel.emit("premat", graphs=len(manifests),
+                     seconds=corpus.premat_seconds,
+                     plane=plane is not None)
 
+        obs_dir_str = str(obs_path) if obs_path is not None else None
         futures = [
             executor.submit(_worker_execute,
                             (planned, profile, store_root, timeout_s,
@@ -606,7 +795,8 @@ def build_corpus(
                              health_check_every, checkpoint_dir,
                              checkpoint_every,
                              manifests.get(planned.spec.cache_key()),
-                             graph_cache_bytes))
+                             graph_cache_bytes,
+                             obs_level, obs_dir_str, run_id))
             for planned in plan
         ]
 
@@ -636,12 +826,19 @@ def build_corpus(
     try:
         total = len(plan)
         for done, run in enumerate(results, start=1):
+            if run.obs_snapshot is not None:
+                # Fold the pool worker's per-cell metric delta into
+                # the parent registry as results stream in.
+                tel.merge_snapshot(run.obs_snapshot)
+                run.obs_snapshot = None
             if run.ok:
                 corpus.runs.append(run)
             else:
                 corpus.failures.append(run)
+            event = progress_event(run, done, total)
+            tel.emit("progress", **event)
             if progress is not None:
-                progress(_progress_line(run, done, total))
+                progress(format_progress(event))
     finally:
         if executor is not None:
             # cancel_futures: an in-flight exception (or ^C) must not
@@ -652,6 +849,28 @@ def build_corpus(
             # unlink every published segment (also runs on the SIGINT
             # and exception paths — nothing may leak into /dev/shm).
             plane.close()
-    corpus.interrupted = stopped()
-    corpus.build_seconds = time.perf_counter() - started
+        corpus.interrupted = stopped()
+        corpus.build_seconds = time.perf_counter() - started
+        if obs_level != "off" and obs_path is not None:
+            # Fold worker sinks into the parent registry + main log,
+            # then drop the exporters next to the event log — also on
+            # the SIGINT/exception paths, so a partial build still
+            # leaves inspectable telemetry behind.
+            tel = get_telemetry()
+            _, worker_snaps = merge_sinks(obs_path, tel.events)
+            for snap in worker_snaps:
+                tel.merge_snapshot(snap)
+            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
+            tel.emit("build_end", runs=len(corpus.runs),
+                     failures=len(corpus.failures),
+                     interrupted=corpus.interrupted,
+                     seconds=corpus.build_seconds)
+            snapshot = tel.snapshot()
+            write_telemetry_json(
+                obs_path, snapshot, run=run_id, level=obs_level,
+                profile=profile.name, workers=workers,
+                build_seconds=corpus.build_seconds,
+                interrupted=corpus.interrupted)
+            write_prometheus(obs_path, snapshot)
+            deactivate()
     return corpus

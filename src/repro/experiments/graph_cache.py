@@ -155,15 +155,23 @@ def materialize_problem(spec) -> tuple[ProblemInstance, str]:
     ``source`` is ``"shm"`` (graph plane), ``"cache"`` (this process's
     LRU) or ``"generated"`` (actually materialized here and now).
     """
+    from repro.obs.telemetry import get_telemetry
+
     key = spec.cache_key()
     problem = shm.resolve(key)
     if problem is not None:
-        return problem, "shm"
-    cache = default_cache()
-    problem = cache.get(key)
-    if problem is not None:
-        return problem, "cache"
-    problem = freeze_inputs(spec.generate())
-    _count_materialization(key)
-    cache.put(key, problem)
-    return problem, "generated"
+        source = "shm"
+    else:
+        cache = default_cache()
+        problem = cache.get(key)
+        if problem is not None:
+            source = "cache"
+        else:
+            problem = freeze_inputs(spec.generate())
+            _count_materialization(key)
+            cache.put(key, problem)
+            source = "generated"
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.inc("graph_resolutions_total", source=source)
+    return problem, source

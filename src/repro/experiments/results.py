@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import uuid
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro._util.errors import CacheCorruptError, ValidationError
@@ -169,6 +170,28 @@ class ResultStore:
             failure = RunFailure(kind="crash", message=failure)
         payload = {_FAILED_MARKER: True, **failure.to_dict()}
         self._write_atomic(self._path(key), json.dumps(payload))
+
+    def iter_traces(self) -> "Iterator[RunTrace]":
+        """Yield every readable cached trace, sorted by filename.
+
+        Failure records are skipped. Unlike :meth:`load`, unreadable
+        entries are merely skipped (not quarantined): enumeration is a
+        read-only reporting path and must not mutate the store under a
+        concurrently running build.
+        """
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(data, dict) or data.get(_FAILED_MARKER):
+                continue
+            try:
+                yield RunTrace.from_dict(data)
+            except (TypeError, KeyError, ValidationError):
+                continue
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -285,6 +285,12 @@ def resolve(key: str) -> "ProblemInstance | None":
         return attach(manifest)
     except Exception:
         _INSTALLED_MANIFESTS.pop(key, None)
+        from repro.obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("shm_attach_failures_total")
+            tel.emit("shm", action="attach-failed", key=key)
         return None
 
 
@@ -356,6 +362,14 @@ class GraphPlane:
         # the original problem) so parent and workers compute over the
         # same bytes; the original can be garbage-collected.
         install_problem(key, _problem_from_segment(manifest, seg))
+        from repro.obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("shm_publishes_total")
+            tel.inc("shm_published_bytes_total", total)
+            if tel.full:
+                tel.emit("shm", action="publish", key=key, bytes=total)
         return manifest
 
     def close(self) -> None:

@@ -1,0 +1,76 @@
+"""Unified telemetry plane: metrics registry, event log, exporters.
+
+See docs/observability.md for the event schema, the span model, and
+the merge semantics used to fold pool-worker telemetry back into the
+parent registry.
+"""
+
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    PROM_FILENAME,
+    SINKS_DIRNAME,
+    TELEMETRY_FILENAME,
+    EventLog,
+    merge_sinks,
+    read_all_events,
+    read_events,
+    worker_metrics_path,
+    worker_sink_path,
+    write_worker_metrics,
+)
+from repro.obs.export import (
+    load_telemetry,
+    render_prometheus,
+    write_prometheus,
+    write_telemetry_json,
+)
+from repro.obs.telemetry import (
+    BASIC_SAMPLE_EVERY,
+    OBS_DIR_ENV,
+    OBS_ENV,
+    OBS_LEVELS,
+    EngineObserver,
+    Histogram,
+    SpanHandle,
+    Telemetry,
+    configure,
+    deactivate,
+    engine_observer,
+    get_telemetry,
+    peak_rss_bytes,
+    resolve_obs_level,
+    validate_obs_level,
+)
+
+__all__ = [
+    "BASIC_SAMPLE_EVERY",
+    "EVENTS_FILENAME",
+    "OBS_DIR_ENV",
+    "OBS_ENV",
+    "OBS_LEVELS",
+    "PROM_FILENAME",
+    "SINKS_DIRNAME",
+    "TELEMETRY_FILENAME",
+    "EngineObserver",
+    "EventLog",
+    "Histogram",
+    "SpanHandle",
+    "Telemetry",
+    "configure",
+    "deactivate",
+    "engine_observer",
+    "get_telemetry",
+    "load_telemetry",
+    "merge_sinks",
+    "peak_rss_bytes",
+    "read_all_events",
+    "read_events",
+    "render_prometheus",
+    "resolve_obs_level",
+    "validate_obs_level",
+    "worker_metrics_path",
+    "worker_sink_path",
+    "write_prometheus",
+    "write_worker_metrics",
+    "write_telemetry_json",
+]

@@ -1,0 +1,298 @@
+"""Aggregation + rendering behind ``repro stats`` and ``repro tail``.
+
+``repro stats`` reads the ``telemetry.json`` snapshot (and the
+retained event log for the per-cell table) of an observability
+directory and renders ASCII tables: phase time breakdown, failure
+taxonomy counts, graph-plane hit rates, and p50/p95 iteration latency.
+``repro tail`` formats the live event stream.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro._util.errors import ValidationError
+from repro.experiments.reporting import format_table
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    TELEMETRY_FILENAME,
+    read_all_events,
+)
+from repro.obs.export import load_telemetry
+
+#: Default subdirectory (under a ResultStore root) where a corpus
+#: build drops its observability artifacts.
+OBS_SUBDIR = "obs"
+
+
+def resolve_run_dir(path: "str | Path") -> Path:
+    """Accept either an obs dir or its parent run/store directory."""
+
+    root = Path(path)
+    candidates = [root, root / OBS_SUBDIR]
+    for candidate in candidates:
+        if ((candidate / TELEMETRY_FILENAME).exists()
+                or (candidate / EVENTS_FILENAME).exists()):
+            return candidate
+    raise ValidationError(
+        f"no telemetry found under {root} (looked for "
+        f"{TELEMETRY_FILENAME} / {EVENTS_FILENAME}, also in ./{OBS_SUBDIR})")
+
+
+# -- snapshot accessors ------------------------------------------------
+
+def _entries(snapshot: dict[str, Any], group: str,
+             name: str) -> list[dict[str, Any]]:
+    return snapshot.get(group, {}).get(name, [])
+
+
+def _total(snapshot: dict[str, Any], name: str,
+           **match: str) -> float:
+    total = 0.0
+    for entry in _entries(snapshot, "counters", name):
+        labels = entry.get("labels", {})
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += float(entry.get("value", 0.0))
+    return total
+
+
+def _by_label(snapshot: dict[str, Any], name: str,
+              label: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for entry in _entries(snapshot, "counters", name):
+        key = entry.get("labels", {}).get(label, "?")
+        out[key] = out.get(key, 0.0) + float(entry.get("value", 0.0))
+    return out
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value * 1e3:.2f}"
+
+
+def _fmt_bytes(value: float) -> str:
+    units = ["B", "KiB", "MiB", "GiB"]
+    for unit in units:
+        if abs(value) < 1024 or unit == units[-1]:
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+# -- stats rendering ---------------------------------------------------
+
+def render_stats(run_dir: "str | Path") -> str:
+    """Full ``repro stats`` report for an observability directory."""
+
+    obs_dir = resolve_run_dir(run_dir)
+    payload = load_telemetry(obs_dir)
+    events = read_all_events(obs_dir)
+    if payload is None and not events:
+        raise ValidationError(f"no telemetry data in {obs_dir}")
+    snapshot = (payload or {}).get("metrics", {})
+    sections: list[str] = []
+
+    header = [f"telemetry: {obs_dir}"]
+    if payload:
+        for key in ("run", "level", "profile", "workers",
+                    "build_seconds", "interrupted"):
+            if key in payload:
+                value = payload[key]
+                if key == "build_seconds":
+                    value = _fmt_s(float(value)) + " s"
+                header.append(f"{key}: {value}")
+    sections.append("\n".join(header))
+
+    # Cell outcome summary.
+    status_counts = _by_label(snapshot, "corpus_cells_total", "status")
+    source_counts = _by_label(snapshot, "corpus_cells_total", "source")
+    if status_counts:
+        rows = [[status, int(count)]
+                for status, count in sorted(status_counts.items())]
+        rows.append(["(from cache)",
+                     int(source_counts.get("cache", 0))])
+        sections.append(format_table(
+            ["status", "cells"], rows, title="Cell outcomes"))
+
+    # Phase time breakdown: corpus level, then engine level.
+    phase_totals = _by_label(snapshot, "corpus_cell_seconds_total", "phase")
+    if phase_totals:
+        grand = sum(phase_totals.values()) or 1.0
+        rows = [[phase, _fmt_s(total), f"{100 * total / grand:.1f}%"]
+                for phase, total in sorted(
+                    phase_totals.items(), key=lambda kv: -kv[1])]
+        sections.append(format_table(
+            ["phase", "total s", "share"], rows,
+            title="Cell phase time breakdown"))
+
+    engine_rows = []
+    for entry in _entries(snapshot, "histograms", "engine_phase_seconds"):
+        labels = entry.get("labels", {})
+        engine_rows.append([
+            labels.get("engine", "?"), labels.get("phase", "?"),
+            int(entry.get("count", 0)), _fmt_s(float(entry.get("sum", 0.0))),
+            _fmt_ms(float(entry.get("p50", 0.0))),
+            _fmt_ms(float(entry.get("p95", 0.0))),
+        ])
+    if engine_rows:
+        engine_rows.sort(key=lambda r: (r[0], r[1]))
+        merged: dict[tuple, list] = {}
+        for row in engine_rows:
+            key = (row[0], row[1])
+            if key in merged:
+                merged[key][2] += row[2]
+                merged[key][3] = _fmt_s(
+                    float(merged[key][3]) + float(row[3]))
+            else:
+                merged[key] = list(row)
+        sections.append(format_table(
+            ["engine", "phase", "samples", "total s", "p50 ms", "p95 ms"],
+            merged.values(), title="Engine phase timing (sampled)"))
+
+    # Failure taxonomy.
+    failure_counts = _by_label(snapshot, "corpus_failures_total", "kind")
+    retries = _total(snapshot, "corpus_retries_total")
+    if failure_counts or retries:
+        rows = [[kind, int(count)]
+                for kind, count in sorted(failure_counts.items())]
+        rows.append(["(retries)", int(retries)])
+        sections.append(format_table(
+            ["failure kind", "count"], rows, title="Failure taxonomy"))
+
+    # Graph plane: resolution sources + hit rate, shm traffic.
+    resolutions = _by_label(snapshot, "graph_resolutions_total", "source")
+    if resolutions:
+        total = sum(resolutions.values()) or 1.0
+        rows = [[source, int(count), f"{100 * count / total:.1f}%"]
+                for source, count in sorted(resolutions.items())]
+        hits = resolutions.get("shm", 0.0) + resolutions.get("cache", 0.0)
+        rows.append(["(hit rate)", int(hits),
+                     f"{100 * hits / total:.1f}%"])
+        sections.append(format_table(
+            ["graph source", "count", "share"], rows,
+            title="Graph resolution"))
+    shm_bytes = _total(snapshot, "shm_published_bytes_total")
+    shm_fail = _total(snapshot, "shm_attach_failures_total")
+    ckpt_bytes = _total(snapshot, "checkpoint_published_bytes_total")
+    extras = []
+    if shm_bytes:
+        extras.append(f"shm published: {_fmt_bytes(shm_bytes)}"
+                      + (f", attach failures: {int(shm_fail)}"
+                         if shm_fail else ""))
+    if ckpt_bytes:
+        extras.append(
+            f"checkpoints: {int(_total(snapshot, 'checkpoint_publishes_total'))}"
+            f" published ({_fmt_bytes(ckpt_bytes)}), "
+            f"{int(_total(snapshot, 'checkpoint_restores_total'))} restored")
+    trips = _by_label(snapshot, "health_trips_total", "condition")
+    if trips:
+        extras.append("health trips: " + ", ".join(
+            f"{cond}={int(n)}" for cond, n in sorted(trips.items())))
+    for entry in _entries(snapshot, "gauges", "peak_rss_bytes"):
+        extras.append(f"peak RSS: {_fmt_bytes(float(entry['value']))}")
+        break
+    if extras:
+        sections.append("\n".join(extras))
+
+    # Iteration latency percentiles per engine/algorithm.
+    latency_rows = []
+    for entry in _entries(snapshot, "histograms",
+                          "engine_iteration_seconds"):
+        labels = entry.get("labels", {})
+        latency_rows.append([
+            labels.get("engine", "?"), labels.get("algorithm", "?"),
+            int(entry.get("count", 0)),
+            _fmt_ms(float(entry.get("p50", 0.0))),
+            _fmt_ms(float(entry.get("p95", 0.0))),
+        ])
+    if latency_rows:
+        latency_rows.sort(key=lambda r: (r[0], r[1]))
+        sections.append(format_table(
+            ["engine", "algorithm", "iters", "p50 ms", "p95 ms"],
+            latency_rows, title="Iteration latency (sampled)"))
+
+    # Per-cell table from lifecycle events.
+    cell_rows = []
+    for event in events:
+        if event.get("kind") != "cell_end":
+            continue
+        cell_rows.append([
+            event.get("cell", "?"),
+            event.get("status", "?"),
+            event.get("source", "?"),
+            event.get("graph_source", "-"),
+            event.get("attempts", 1),
+            _fmt_s(float(event.get("materialize_s", 0.0))),
+            _fmt_s(float(event.get("engine_s", 0.0))),
+            _fmt_s(float(event.get("store_s", 0.0))),
+        ])
+    if cell_rows:
+        cell_rows.sort(key=lambda r: str(r[0]))
+        sections.append(format_table(
+            ["cell", "status", "from", "graph", "tries",
+             "mat s", "eng s", "store s"],
+            cell_rows, title=f"Cells ({len(cell_rows)})"))
+
+    return "\n\n".join(sections) + "\n"
+
+
+# -- tail rendering ----------------------------------------------------
+
+_SKIP_FIELDS = {"ts", "kind", "pid", "run", "cell", "attempt"}
+
+
+def format_event(event: dict[str, Any]) -> str:
+    """One human-readable line for an event (used by ``repro tail``)."""
+
+    import datetime
+
+    ts = float(event.get("ts", 0.0))
+    clock = datetime.datetime.fromtimestamp(ts).strftime("%H:%M:%S")
+    kind = str(event.get("kind", "?"))
+    if kind == "progress":
+        # Single source of truth: the human progress line is a
+        # formatter over the event payload (see experiments.corpus).
+        from repro.experiments.corpus import format_progress
+
+        try:
+            return f"{clock} progress   {format_progress(event)}"
+        except Exception:
+            pass  # fall through to the generic rendering
+    parts = [clock, f"{kind:<10}"]
+    cell = event.get("cell")
+    if cell:
+        attempt = event.get("attempt")
+        parts.append(f"{cell}" + (f"#{attempt}" if attempt else ""))
+    for key in sorted(k for k in event if k not in _SKIP_FIELDS):
+        value = event[key]
+        if key in ("snapshot",):
+            continue
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def tail_lines(run_dir: "str | Path", n: int) -> list[str]:
+    """Last *n* formatted events of a run directory."""
+
+    obs_dir = resolve_run_dir(run_dir)
+    events = read_all_events(obs_dir)
+    return [format_event(e) for e in events[-n:]]
+
+
+def iter_follow(run_dir: "str | Path", *, duration_s: "float | None",
+                poll_s: float = 0.25) -> Iterable[str]:
+    """Formatted lines appended to the live log; see ``follow_events``."""
+
+    from repro.obs.events import follow_events
+
+    obs_dir = resolve_run_dir(run_dir)
+    for event in follow_events(obs_dir, poll_s=poll_s,
+                               duration_s=duration_s):
+        yield format_event(event)

@@ -123,6 +123,90 @@ class TestReport:
         assert code == 1
         assert "no artifact directory" in err
 
+    def test_store_metadata_section(self, capsys, tmp_path):
+        from repro.behavior.trace import RunTrace
+        from repro.experiments.results import ResultStore
+
+        trace_path = tmp_path / "trace.json"
+        code, _out, _err = run_cli(
+            capsys, "run", "sssp", "--nedges", "300",
+            "--json", str(trace_path))
+        assert code == 0
+        trace = RunTrace.from_dict(json.loads(trace_path.read_text()))
+        store = ResultStore(tmp_path / "store")
+        store.save("sssp-test", trace)
+
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        (artifacts / "fig.txt").write_text("data\n")
+        code, out, _err = run_cli(
+            capsys, "report", "--artifacts", str(artifacts),
+            "--store", str(tmp_path / "store"))
+        assert code == 0
+        assert "## run-metadata" in out
+        assert "1 cached traces" in out
+        assert "timeout enforced" in out
+
+    def test_empty_store_omits_metadata(self, capsys, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        (artifacts / "fig.txt").write_text("data\n")
+        code, out, _err = run_cli(
+            capsys, "report", "--artifacts", str(artifacts),
+            "--store", str(tmp_path / "empty-store"))
+        assert code == 0
+        assert "run-metadata" not in out
+
+
+class TestObsCommands:
+    def test_run_with_obs_then_stats_and_tail(self, capsys, tmp_path):
+        obs_dir = tmp_path / "obs"
+        code, out, _err = run_cli(
+            capsys, "run", "cc", "--nedges", "200",
+            "--obs", "full", "--obs-dir", str(obs_dir))
+        assert code == 0
+        assert "harness: graph_source=" in out
+        assert "timeout_enforced=" in out
+        assert f"telemetry: {obs_dir}" in out
+        assert (obs_dir / "events.jsonl").exists()
+        assert (obs_dir / "telemetry.json").exists()
+        assert (obs_dir / "metrics.prom").exists()
+
+        code, out, _err = run_cli(capsys, "stats", str(obs_dir))
+        assert code == 0
+        assert "telemetry:" in out
+        assert "Iteration latency (sampled)" in out
+
+        code, out, _err = run_cli(capsys, "tail", str(obs_dir))
+        assert code == 0
+        assert "run_start" in out and "run_end" in out
+
+        code, out, _err = run_cli(
+            capsys, "tail", str(obs_dir), "--raw", "-n", "2")
+        assert code == 0
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            assert json.loads(line)["kind"]
+
+    def test_run_obs_off_is_silent(self, capsys, tmp_path):
+        obs_dir = tmp_path / "obs"
+        code, out, _err = run_cli(
+            capsys, "run", "cc", "--nedges", "200",
+            "--obs", "off", "--obs-dir", str(obs_dir))
+        assert code == 0
+        assert "telemetry:" not in out
+        assert not obs_dir.exists()
+
+    def test_stats_without_telemetry_fails(self, capsys, tmp_path):
+        code, _out, err = run_cli(capsys, "stats", str(tmp_path))
+        assert code == 1
+        assert "no telemetry" in err
+
+    def test_invalid_obs_level_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "run", "cc", "--obs", "loud")
+
 
 class TestCorpusAndDesign:
     @pytest.fixture()

@@ -1,0 +1,520 @@
+"""Unit tests for the telemetry plane: registry, events, exporters,
+merge semantics, and the progress-event/human-line contract."""
+
+import json
+import os
+
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.obs.events import (
+    EventLog,
+    merge_sinks,
+    read_all_events,
+    read_events,
+    worker_metrics_path,
+    worker_sink_path,
+    write_worker_metrics,
+)
+from repro.obs.export import (
+    load_telemetry,
+    render_prometheus,
+    write_prometheus,
+    write_telemetry_json,
+)
+from repro.obs.telemetry import (
+    BASIC_SAMPLE_EVERY,
+    OBS_ENV,
+    EngineObserver,
+    Histogram,
+    Telemetry,
+    configure,
+    deactivate,
+    engine_observer,
+    get_telemetry,
+    peak_rss_bytes,
+    resolve_obs_level,
+    validate_obs_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_telemetry():
+    yield
+    deactivate()
+
+
+class TestObsLevels:
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            validate_obs_level("verbose")
+
+    def test_explicit_level_wins(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV, "full")
+        assert resolve_obs_level("basic") == "basic"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV, "full")
+        assert resolve_obs_level(None) == "full"
+        monkeypatch.setenv(OBS_ENV, "nonsense")
+        assert resolve_obs_level(None) == "off"
+        monkeypatch.delenv(OBS_ENV)
+        assert resolve_obs_level(None) == "off"
+
+    def test_peak_rss_is_positive(self):
+        assert peak_rss_bytes() > 1 << 20  # a python process is >1 MiB
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_nearest_rank_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        # Nearest-rank on 100 values: rank(0.5) = round(49.5) = 50.
+        assert h.percentile(0.50) == 51.0
+        assert h.percentile(0.95) == 95.0
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(1.0) == 100.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_snapshot_bounds_sample(self):
+        h = Histogram()
+        for v in range(2_000):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 2_000
+        assert len(snap["sample"]) <= 512
+
+    def test_merge_snapshot_combines_exact_fields(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        a.observe(5.0)
+        b.observe(3.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 3
+        assert a.sum == 9.0
+        assert a.min == 1.0
+        assert a.max == 5.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        a = Histogram()
+        a.observe(2.0)
+        a.merge_snapshot(Histogram().snapshot())
+        assert a.count == 1 and a.min == 2.0
+
+
+class TestTelemetryRegistry:
+    def test_off_level_is_inert(self):
+        tel = Telemetry(level="off")
+        tel.inc("c")
+        tel.gauge_max("g", 5.0)
+        tel.observe("h", 1.0)
+        assert not tel.enabled
+        assert tel.counter_value("c") == 0.0
+        assert tel.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_labeled_series_are_distinct(self):
+        tel = Telemetry(level="basic")
+        tel.inc("cells", status="ok")
+        tel.inc("cells", status="ok")
+        tel.inc("cells", status="failed")
+        assert tel.counter_value("cells", status="ok") == 2.0
+        assert tel.counter_value("cells", status="failed") == 1.0
+        assert tel.counter_total("cells") == 3.0
+
+    def test_gauge_keeps_maximum(self):
+        tel = Telemetry(level="basic")
+        tel.gauge_max("peak", 10.0)
+        tel.gauge_max("peak", 4.0)
+        tel.gauge_max("peak", 12.0)
+        snap = tel.snapshot()
+        assert snap["gauges"]["peak"][0]["value"] == 12.0
+
+    def test_merge_snapshot_sums_counters_maxes_gauges(self):
+        parent = Telemetry(level="basic")
+        parent.inc("cells", 2.0, status="ok")
+        parent.gauge_max("peak_rss_bytes", 100.0)
+        parent.observe("lat", 1.0)
+
+        worker = Telemetry(level="basic")
+        worker.inc("cells", 3.0, status="ok")
+        worker.gauge_max("peak_rss_bytes", 250.0)
+        worker.observe("lat", 3.0)
+
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter_value("cells", status="ok") == 5.0
+        snap = parent.snapshot()
+        assert snap["gauges"]["peak_rss_bytes"][0]["value"] == 250.0
+        hist = parent.histogram("lat")
+        assert hist.count == 2 and hist.sum == 4.0
+
+    def test_merge_is_associative_on_registries(self):
+        def fresh(n):
+            t = Telemetry(level="basic")
+            t.inc("c", n, kind="x")
+            t.gauge_max("g", n * 10.0)
+            return t
+
+        left = fresh(1)
+        mid = fresh(2)
+        mid.merge_snapshot(fresh(3).snapshot())
+        left.merge_snapshot(mid.snapshot())
+
+        right = fresh(1)
+        right.merge_snapshot(fresh(2).snapshot())
+        right.merge_snapshot(fresh(3).snapshot())
+
+        assert (left.counter_value("c", kind="x")
+                == right.counter_value("c", kind="x") == 6.0)
+        assert left.snapshot()["gauges"] == right.snapshot()["gauges"]
+
+
+class TestSpan:
+    def test_measures_even_when_off(self):
+        tel = Telemetry(level="off")
+        with tel.span("work") as sp:
+            pass
+        assert sp.seconds >= 0.0
+        assert tel.histogram("work_seconds") is None
+
+    def test_records_histogram_and_late_labels(self):
+        tel = Telemetry(level="basic")
+        with tel.span("materialize") as sp:
+            sp.set(source="shm")
+        hist = tel.histogram("materialize_seconds", source="shm")
+        assert hist is not None and hist.count == 1
+
+    def test_full_level_emits_span_event(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        tel = Telemetry(level="full", events=EventLog(log_path),
+                        run_id="r1")
+        with tel.span("store", algorithm="cc"):
+            pass
+        tel.close()
+        events = list(read_events(log_path))
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["kind"] == "span"
+        assert ev["name"] == "store"
+        assert ev["algorithm"] == "cc"
+        assert ev["run"] == "r1"
+        assert ev["seconds"] >= 0.0
+
+    def test_records_on_exception(self):
+        tel = Telemetry(level="basic")
+        with pytest.raises(RuntimeError):
+            with tel.span("engine_run"):
+                raise RuntimeError("boom")
+        assert tel.histogram("engine_run_seconds").count == 1
+
+
+class TestEngineObserver:
+    def test_off_returns_none(self):
+        deactivate()
+        assert engine_observer("synchronous", "cc") is None
+
+    def test_sampling_rate_by_level(self):
+        basic = EngineObserver(Telemetry(level="basic"), "e", "a")
+        full = EngineObserver(Telemetry(level="full"), "e", "a")
+        basic_hits = sum(basic.sampled(i) for i in range(64))
+        assert basic_hits == 64 // BASIC_SAMPLE_EVERY
+        assert all(full.sampled(i) for i in range(64))
+
+    def test_iteration_totals_and_sampled_timing(self):
+        tel = Telemetry(level="full")
+        obs = EngineObserver(tel, "synchronous", "cc")
+        obs.iteration(iteration=0, active=10, updates=10, edge_reads=40,
+                      messages=20, seconds=0.5,
+                      phases={"gather": 0.2, "apply": 0.3})
+        obs.iteration(iteration=1, active=4, updates=4, edge_reads=16,
+                      messages=8)  # unsampled: totals only
+        labels = {"engine": "synchronous", "algorithm": "cc"}
+        assert tel.counter_value("engine_iterations_total",
+                                 **labels) == 2.0
+        assert tel.counter_value("engine_active_total", **labels) == 14.0
+        assert tel.histogram("engine_iteration_seconds",
+                             **labels).count == 1
+        assert tel.histogram("engine_phase_seconds", phase="gather",
+                             **labels).count == 1
+
+
+class TestEventLog:
+    def test_rotation_keeps_bounded_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        max_bytes, backups = 2_000, 2
+        log = EventLog(path, max_bytes=max_bytes, backups=backups)
+        payload = "x" * 100
+        for i in range(200):
+            log.append({"kind": "t", "i": i, "pad": payload})
+        log.close()
+        files = [path, *(path.with_name(f"{path.name}.{g}")
+                         for g in range(1, backups + 2))]
+        existing = [f for f in files if f.exists()]
+        # At most the live file + `backups` generations.
+        assert len(existing) <= backups + 1
+        total = sum(f.stat().st_size for f in existing)
+        # One event of slack per file: rotation triggers post-append.
+        assert total <= (backups + 1) * (max_bytes + 200)
+
+    def test_rotated_generations_are_readable_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, max_bytes=500, backups=3)
+        for i in range(40):
+            log.append({"i": i, "pad": "y" * 50})
+        log.close()
+        events = read_all_events(tmp_path)
+        ids = [e["i"] for e in events]
+        assert ids == sorted(ids)  # oldest generation first
+        assert ids[-1] == 39  # newest event retained
+
+    def test_read_events_skips_torn_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "ok", "i": 1}) + "\n")
+            fh.write('{"kind": "torn", "i"')  # killed mid-write
+        events = list(read_events(path))
+        assert [e["i"] for e in events] == [1]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert list(read_events(tmp_path / "nope.jsonl")) == []
+
+
+class TestMergeSinks:
+    def test_merges_rotated_sinks_and_metrics_files(self, tmp_path):
+        sink = worker_sink_path(tmp_path, 111)
+        sink.parent.mkdir(parents=True)
+        rotated = sink.with_name(sink.name + ".1")
+        rotated.write_text(json.dumps({"kind": "cell_start", "i": 0})
+                           + "\n", encoding="utf-8")
+        with open(sink, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "cell_end", "i": 1}) + "\n")
+            fh.write('{"kind": "torn"')  # SIGKILL mid-write
+        write_worker_metrics(
+            worker_metrics_path(tmp_path, 111),
+            {"counters": {"c": [{"labels": {}, "value": 2.0}]},
+             "gauges": {}, "histograms": {}})
+
+        main = EventLog(tmp_path / "events.jsonl")
+        merged, snapshots = merge_sinks(tmp_path, main)
+        main.close()
+
+        assert merged == 2
+        assert len(snapshots) == 1
+        assert snapshots[0]["counters"]["c"][0]["value"] == 2.0
+        events = read_all_events(tmp_path)
+        # Rotated (older) sink content lands before the live sink's.
+        assert [e["kind"] for e in events] == ["cell_start", "cell_end"]
+        assert not sink.exists() and not rotated.exists()
+        assert not sink.parent.exists()  # empty sink dir removed
+
+    def test_no_sink_dir_is_noop(self, tmp_path):
+        assert merge_sinks(tmp_path, None) == (0, [])
+
+    def test_worker_metrics_overwrite_is_atomic(self, tmp_path):
+        path = worker_metrics_path(tmp_path, 5)
+        write_worker_metrics(path, {"v": 1})
+        write_worker_metrics(path, {"v": 2})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"v": 2}
+        assert list(path.parent.glob("*.tmp")) == []
+
+
+class TestExporters:
+    def _snapshot(self):
+        tel = Telemetry(level="basic")
+        tel.inc("corpus_cells_total", 3.0, status="ok")
+        tel.gauge_max("peak_rss_bytes", 1024.0)
+        tel.observe("engine_iteration_seconds", 0.25,
+                    engine="synchronous")
+        return tel.snapshot()
+
+    def test_prometheus_rendering(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE repro_corpus_cells_total counter" in text
+        assert 'repro_corpus_cells_total{status="ok"} 3' in text
+        assert "# TYPE repro_peak_rss_bytes gauge" in text
+        assert ('repro_engine_iteration_seconds{engine="synchronous",'
+                'quantile="0.5"} 0.25') in text
+        assert ('repro_engine_iteration_seconds_count'
+                '{engine="synchronous"} 1') in text
+
+    def test_telemetry_json_roundtrip(self, tmp_path):
+        write_telemetry_json(tmp_path, self._snapshot(), run="abc",
+                             level="basic")
+        payload = load_telemetry(tmp_path)
+        assert payload["schema"] == 1
+        assert payload["run"] == "abc"
+        counters = payload["metrics"]["counters"]
+        assert counters["corpus_cells_total"][0]["value"] == 3.0
+
+    def test_load_missing_or_corrupt_returns_none(self, tmp_path):
+        assert load_telemetry(tmp_path) is None
+        (tmp_path / "telemetry.json").write_text("{not json",
+                                                 encoding="utf-8")
+        assert load_telemetry(tmp_path) is None
+
+    def test_write_prometheus_file(self, tmp_path):
+        path = write_prometheus(tmp_path, self._snapshot())
+        assert path.read_text(encoding="utf-8").startswith("# TYPE")
+
+
+class TestGlobalConfigure:
+    def test_configure_then_deactivate(self, tmp_path):
+        tel = configure("full", run_id="r9",
+                        events_path=tmp_path / "events.jsonl")
+        assert get_telemetry() is tel
+        assert tel.full and tel.run_id == "r9"
+        deactivate()
+        assert not get_telemetry().enabled
+
+    def test_context_rides_on_events(self, tmp_path):
+        tel = configure("full", run_id="r1",
+                        events_path=tmp_path / "events.jsonl")
+        tel.set_context(cell="cc@ga", attempt=2)
+        tel.emit("retry", failure_kind="timeout")
+        tel.set_context()
+        tel.emit("build_end")
+        deactivate()
+        events = read_all_events(tmp_path)
+        assert events[0]["cell"] == "cc@ga"
+        assert events[0]["attempt"] == 2
+        assert "cell" not in events[1]
+
+
+class TestProgressEventContract:
+    """Satellite: the human progress line is a pure formatter over the
+    structured progress event — they can never drift apart."""
+
+    def _ok_run(self):
+        from repro.behavior.run import run_computation
+        from repro.experiments.config import GraphSpec
+        from repro.experiments.corpus import CorpusRun
+
+        spec = GraphSpec.ga(nedges=200, alpha=2.5, seed=3)
+        trace = run_computation("cc", spec)
+        return CorpusRun("cc", spec, trace, None, store_s=0.01)
+
+    def _failed_run(self):
+        from repro.experiments.config import GraphSpec
+        from repro.experiments.corpus import CorpusRun
+        from repro.experiments.failures import RunFailure
+
+        spec = GraphSpec.ga(nedges=200, alpha=2.5, seed=3)
+        failure = RunFailure(kind="crash", message="boom", attempts=2)
+        return CorpusRun("cc", spec, None, None, failure=failure)
+
+    def test_ok_line_matches_formatter(self):
+        from repro.experiments.corpus import (
+            _progress_line,
+            format_progress,
+            progress_event,
+        )
+
+        run = self._ok_run()
+        event = progress_event(run, 3, 10)
+        assert _progress_line(run, 3, 10) == format_progress(event)
+        line = format_progress(event)
+        assert line.startswith("[3/10] cc@")
+        assert "status=ok source=run" in line
+        assert "graph=" in line and "mat=" in line
+
+    def test_failed_line_reports_taxonomy_kind(self):
+        from repro.experiments.corpus import (
+            format_progress,
+            progress_event,
+        )
+
+        event = progress_event(self._failed_run(), 1, 10)
+        assert event["status"] == "failed"
+        assert event["failure_kind"] == "crash"
+        assert "kind" not in event  # reserved for the event envelope
+        line = format_progress(event)
+        assert "status=failed kind=crash attempts=2" in line
+        assert "boom" in line
+
+    def test_event_is_json_clean(self):
+        from repro.experiments.corpus import progress_event
+
+        for run in (self._ok_run(), self._failed_run()):
+            event = progress_event(run, 1, 2)
+            assert json.loads(json.dumps(event)) == event
+
+    def test_emitted_progress_event_formats_identically(self, tmp_path):
+        """The event as read back from the log still renders the exact
+        same human line (envelope fields do not interfere)."""
+        from repro.experiments.corpus import (
+            format_progress,
+            progress_event,
+        )
+
+        run = self._ok_run()
+        event = progress_event(run, 1, 2)
+        tel = configure("full", run_id="r1",
+                        events_path=tmp_path / "events.jsonl")
+        tel.emit("progress", **event)
+        deactivate()
+        (logged,) = read_all_events(tmp_path)
+        assert format_progress(logged) == format_progress(event)
+
+
+class TestStatsRendering:
+    def test_resolve_run_dir_accepts_parent(self, tmp_path):
+        from repro.obs.stats import resolve_run_dir
+
+        obs = tmp_path / "obs"
+        obs.mkdir()
+        write_telemetry_json(obs, {"counters": {}, "gauges": {},
+                                   "histograms": {}})
+        assert resolve_run_dir(obs) == obs
+        assert resolve_run_dir(tmp_path) == obs
+        with pytest.raises(ValidationError):
+            resolve_run_dir(tmp_path / "nowhere")
+
+    def test_render_stats_sections(self, tmp_path):
+        from repro.obs.stats import render_stats
+
+        tel = Telemetry(level="full")
+        tel.inc("corpus_cells_total", 5.0, status="ok", source="run")
+        tel.inc("corpus_cells_total", 1.0, status="failed", source="run")
+        tel.inc("corpus_failures_total", 1.0, kind="timeout")
+        tel.inc("corpus_cell_seconds_total", 8.0, phase="engine")
+        tel.inc("corpus_cell_seconds_total", 2.0, phase="materialize")
+        tel.inc("graph_resolutions_total", 9.0, source="shm")
+        tel.inc("graph_resolutions_total", 1.0, source="generated")
+        tel.gauge_max("peak_rss_bytes", float(64 << 20))
+        tel.observe("engine_iteration_seconds", 0.1,
+                    engine="synchronous", algorithm="cc")
+        write_telemetry_json(tmp_path, tel.snapshot(), run="deadbeef",
+                             level="full")
+        out = render_stats(tmp_path)
+        assert "Cell outcomes" in out
+        assert "Failure taxonomy" in out and "timeout" in out
+        assert "Graph resolution" in out and "90.0%" in out
+        assert "peak RSS: 64.0 MiB" in out
+        assert "Iteration latency (sampled)" in out
+
+    def test_format_event_generic_and_progress(self):
+        from repro.obs.stats import format_event
+
+        line = format_event({"ts": 1_700_000_000.0, "kind": "shm",
+                             "pid": 1, "action": "publish",
+                             "bytes": 4096})
+        assert "shm" in line and "action=publish" in line
+        # Progress events reuse the corpus formatter.
+        line = format_event({
+            "ts": 1_700_000_000.0, "kind": "progress", "pid": 1,
+            "done": 1, "total": 2, "algorithm": "cc", "label": "x",
+            "source": "cache", "status": "ok"})
+        assert "[1/2] cc@x: status=ok source=cache" in line

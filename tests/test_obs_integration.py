@@ -1,0 +1,165 @@
+"""End-to-end telemetry-plane tests: corpus builds under every obs
+level, worker-kill crash consistency of the event log, and the
+bit-identity guarantee (telemetry never changes behavior vectors)."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentMatrix, Profile
+from repro.experiments.corpus import build_corpus
+from repro.experiments.results import ResultStore
+from repro.obs.events import read_all_events
+from repro.obs.export import load_telemetry
+from repro.obs.stats import render_stats
+
+#: Tiny two-size profile; same shape as the resilience/checkpoint ones.
+TINY = Profile(
+    name="tinyobs",
+    ga_sizes=(200, 600),
+    cf_sizes=(80, 200),
+    matrix_rows=(30,),
+    grid_sides=(8,),
+    mrf_edges=(40,),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=1_000,
+    seed=11,
+    alphas=(2.0, 2.5),
+)
+
+N_CELLS = len(list(ExperimentMatrix(TINY).corpus_runs()))
+
+
+def _vector_fingerprint(corpus):
+    return sorted((v.tag, v.as_array().tolist()) for v in corpus.vectors())
+
+
+class TestFullObsBuild:
+    def test_build_writes_inspectable_telemetry(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        corpus = build_corpus(TINY, store=ResultStore(tmp_path / "cache"),
+                              workers=1, obs="full", obs_dir=obs_dir)
+        assert corpus.obs_dir == str(obs_dir)
+        assert corpus.run_id
+        assert "telemetry:" in corpus.summary()
+
+        # Exporters landed next to the store.
+        assert (obs_dir / "events.jsonl").exists()
+        assert (obs_dir / "metrics.prom").exists()
+        payload = load_telemetry(obs_dir)
+        assert payload is not None and payload["level"] == "full"
+        assert payload["profile"] == "tinyobs"
+
+        # Every planned cell has lifecycle events and a cell counter.
+        events = read_all_events(obs_dir)
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("build_start") == 1
+        assert kinds.count("build_end") == 1
+        assert kinds.count("cell_start") == N_CELLS
+        assert kinds.count("cell_end") == N_CELLS
+        assert kinds.count("progress") == N_CELLS
+        counters = payload["metrics"]["counters"]
+        total_cells = sum(e["value"]
+                          for e in counters["corpus_cells_total"])
+        assert total_cells == N_CELLS
+
+        # The stats report covers phases, failures, caches, latency,
+        # and one row per cell.
+        report = render_stats(obs_dir)
+        for heading in ("Cell outcomes", "Cell phase time breakdown",
+                        "Engine phase timing (sampled)",
+                        "Graph resolution",
+                        "Iteration latency (sampled)",
+                        f"Cells ({N_CELLS})"):
+            assert heading in report, f"missing section {heading!r}"
+
+    def test_second_build_reports_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        build_corpus(TINY, store=store, workers=1)  # warm, no obs
+        obs_dir = tmp_path / "obs"
+        corpus = build_corpus(TINY, store=store, workers=1,
+                              obs="basic", obs_dir=obs_dir)
+        assert corpus.n_executed == 0
+        payload = load_telemetry(obs_dir)
+        by_source = {
+            tuple(sorted(e["labels"].items())): e["value"]
+            for e in payload["metrics"]["counters"]["corpus_cells_total"]
+        }
+        cached = sum(v for k, v in by_source.items()
+                     if ("source", "cache") in k)
+        assert cached == N_CELLS
+
+
+class TestObsDoesNotPerturbBehavior:
+    def test_vectors_bit_identical_across_levels(self, tmp_path):
+        """The acceptance bar: under the unit work model the behavior
+        corpus is byte-for-byte identical at obs off/basic/full."""
+        fingerprints = {}
+        for level in ("off", "basic", "full"):
+            corpus = build_corpus(
+                TINY, store=ResultStore(tmp_path / f"cache-{level}"),
+                workers=1, obs=level, obs_dir=tmp_path / f"obs-{level}")
+            assert not corpus.unexpected_failures
+            fingerprints[level] = _vector_fingerprint(corpus)
+        assert fingerprints["off"] == fingerprints["basic"]
+        assert fingerprints["off"] == fingerprints["full"]
+
+    def test_off_level_writes_nothing(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        corpus = build_corpus(TINY,
+                              store=ResultStore(tmp_path / "cache"),
+                              workers=1, obs="off", obs_dir=obs_dir)
+        assert corpus.obs_dir is None
+        assert not obs_dir.exists()
+
+
+class TestWorkerKillCrashConsistency:
+    @pytest.mark.parametrize("workers", [2])
+    def test_sigkilled_worker_leaves_clean_merged_log(
+            self, tmp_path, monkeypatch, workers):
+        """A pool worker SIGKILLed mid-build may die mid-line in its
+        sink; after the (resumed) builds the merged main log must
+        contain only valid JSON lines, the sinks must be gone, and the
+        telemetry exporters must exist even for the failed build."""
+        token_dir = tmp_path / "tokens"
+        token_dir.mkdir()
+        for i in range(2):
+            (token_dir / f"token-{i}").touch()
+        monkeypatch.setenv("REPRO_CHAOS_KILL", f"{token_dir}:1.0")
+
+        store = ResultStore(tmp_path / "cache")
+        obs_dir = tmp_path / "obs"
+        corpus = None
+        for _attempt in range(6):
+            corpus = build_corpus(TINY, store=store, workers=workers,
+                                  resume=True, retries=0,
+                                  checkpoint_dir=tmp_path / "snaps",
+                                  checkpoint_every="1",
+                                  obs="full", obs_dir=obs_dir)
+            # Telemetry must be written even when the build had
+            # failures (exporters run in the finally path).
+            assert load_telemetry(obs_dir) is not None
+            if not corpus.unexpected_failures:
+                break
+        assert corpus is not None and not corpus.unexpected_failures
+        assert not list(token_dir.iterdir()), \
+            "chaos kills never fired — the harness tested nothing"
+
+        # No worker sink survives a merge; the merged log parses
+        # line-by-line with zero torn entries.
+        assert not (obs_dir / "sinks").exists() or \
+            not list((obs_dir / "sinks").iterdir())
+        for log in [obs_dir / "events.jsonl",
+                    *obs_dir.glob("events.jsonl.*")]:
+            for n, line in enumerate(
+                    log.read_text(encoding="utf-8").splitlines(), 1):
+                if line.strip():
+                    json.loads(line)  # raises on a corrupt merge
+
+        # The surviving telemetry still accounts for completed cells.
+        payload = load_telemetry(obs_dir)
+        counters = payload["metrics"]["counters"]
+        total_cells = sum(e["value"]
+                          for e in counters["corpus_cells_total"])
+        assert total_cells > 0

@@ -115,3 +115,66 @@ class TestEnginePropertyOnRandomGraphs:
             assert 0 <= rec.messages <= 2 * m
         # Label propagation converges on every input.
         assert trace.converged
+
+
+def _counters_strategy():
+    """Counter blocks with integer-valued fields.
+
+    ``work`` is drawn from integers (then cast to float) so that
+    addition is *exactly* associative — float rounding would make the
+    associativity assertion flaky for free-form floats without
+    reflecting any real merge bug.
+    """
+    from repro.engine.instrumentation import Counters
+
+    nonneg = st.integers(0, 10**9)
+    return st.builds(Counters, active=nonneg, updates=nonneg,
+                     edge_reads=nonneg, messages=nonneg,
+                     work=nonneg.map(float))
+
+
+class TestCountersMergeProperties:
+    """The counter merge rule behind both sub-sweep folding and the
+    telemetry worker->parent fold: ``active`` max-merges (population
+    gauge), everything else sums (flow). See docs/metrics.md."""
+
+    @given(_counters_strategy(), _counters_strategy(),
+           _counters_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        from dataclasses import replace
+
+        left = replace(a)
+        left_inner = replace(b)
+        left_inner.merge(c)
+        left.merge(left_inner)       # a . (b . c)
+
+        right = replace(a)
+        right.merge(b)
+        right.merge(c)               # (a . b) . c
+
+        assert left == right
+
+    @given(_counters_strategy(), _counters_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_active_is_max_merged_others_sum(self, a, b):
+        from dataclasses import replace
+
+        merged = replace(a)
+        merged.merge(b)
+        assert merged.active == max(a.active, b.active)
+        assert merged.updates == a.updates + b.updates
+        assert merged.edge_reads == a.edge_reads + b.edge_reads
+        assert merged.messages == a.messages + b.messages
+        assert merged.work == a.work + b.work
+
+    @given(_counters_strategy(), _counters_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        from dataclasses import replace
+
+        ab = replace(a)
+        ab.merge(b)
+        ba = replace(b)
+        ba.merge(a)
+        assert ab == ba
