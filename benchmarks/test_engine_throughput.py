@@ -6,16 +6,28 @@ optimizations (or regressions) to the CSR segment kernels are visible:
 - one full PageRank iteration at fixed scale (gather-heavy);
 - one SSSP run (frontier churn);
 - one Triangle Counting run (intersection-heavy);
-- the gather kernel in isolation.
+- the gather kernel in isolation;
+- the fused-kernel ablation: edges/sec per algorithm × engine ×
+  direction mode, written to ``benchmarks/artifacts/BENCH_engine.json``
+  (uploaded by CI's perf-smoke step).
+
+Timing protocol for the ablation (the satellite bugfix this file
+carries): every problem is materialized **once** before any clock
+starts, every arm gets one untimed warm-up run (which also supplies the
+trace for the bit-identity assertions), and the timed rounds alternate
+arms so drift hits all of them equally; best-of-N per arm is reported.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro._util.segments import concat_ranges, segmented_reduce
 from repro.behavior.run import run_computation
-from repro.experiments.config import GraphSpec
-from repro.generators import powerlaw_graph
+from repro.generators import matrix_problem, powerlaw_graph
 
 SCALE = 30_000  # edges
 
@@ -63,3 +75,188 @@ def test_throughput_gather_kernel(ga_problem, benchmark):
 def test_throughput_graph_construction(benchmark):
     problem = benchmark(lambda: powerlaw_graph(SCALE, 2.5, seed=42))
     assert abs(problem.graph.n_edges - SCALE) <= 0.02 * SCALE
+
+
+# ----------------------------------------------------------------------
+# Fused-kernel ablation → BENCH_engine.json
+# ----------------------------------------------------------------------
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+ROUNDS = 3
+#: The acceptance gate: at least one dense-frontier workload must run
+#: ≥3× faster (model edges/sec) with the fused kernels on.
+MIN_DENSE_SPEEDUP = 3.0
+
+
+def _records(trace):
+    return [(r.iteration, r.active, r.updates, r.edge_reads, r.messages,
+             r.work) for r in trace.iterations]
+
+
+def _assert_identical(reference, trace, label):
+    """Bit-identity across arms: same iteration-by-iteration counters,
+    same stop accounting, same results — not approximately, exactly."""
+    assert _records(reference) == _records(trace), label
+    assert reference.stop_reason == trace.stop_reason, label
+    assert reference.converged == trace.converged, label
+    assert reference.result == trace.result, label
+
+
+def _bench_arms(arms):
+    """Warm up each arm once, then alternate timed rounds; best-of-N.
+
+    ``arms`` maps name → zero-argument callable returning a RunTrace.
+    Returns (report_dict, {name: warmup_trace}).
+    """
+    traces = {name: run() for name, run in arms.items()}  # warm-up
+    walls: dict[str, list[float]] = {name: [] for name in arms}
+    for _ in range(ROUNDS):
+        for name, run in arms.items():
+            started = time.perf_counter()
+            run()
+            walls[name].append(time.perf_counter() - started)
+    report = {}
+    for name in arms:
+        reads = sum(r.edge_reads for r in traces[name].iterations)
+        best = min(walls[name])
+        report[name] = {
+            "wall_s": walls[name],
+            "best_s": best,
+            "total_edge_reads": reads,
+            "edges_per_s": reads / best,
+        }
+    return report, traces
+
+
+def test_bench_engine_kernels():
+    """Fused CSR kernels and direction modes vs the callback paths."""
+    workloads = {}
+
+    # -- PageRank, synchronous engine: the dense-frontier workload the
+    # direction optimization targets. A tight tolerance under a fixed
+    # iteration budget keeps the frontier at (or near) the full vertex
+    # set, where pull-mode dense gathers and the indicator-SpMV scatter
+    # replace the per-frontier expansion entirely.
+    pr_problem = powerlaw_graph(60_000, 2.2, seed=43)
+    pr_params = {"tol": 1e-12}
+    pr_options = {"max_iterations": 20, "health_policy": "off"}
+
+    def pr_arm(**extra):
+        return lambda: run_computation(
+            "pagerank", pr_problem, params=pr_params,
+            options={**pr_options, **extra})
+
+    report, traces = _bench_arms({
+        "push-legacy": pr_arm(fused_kernels=False),
+        "push": pr_arm(direction="push"),
+        "auto": pr_arm(direction="auto"),
+        "pull": pr_arm(direction="pull"),
+    })
+    for name, trace in traces.items():
+        _assert_identical(traces["push-legacy"], trace, f"pagerank/{name}")
+    workloads["pagerank/sync"] = {
+        "n_edges": pr_problem.graph.n_edges,
+        "n_iterations": traces["pull"].n_iterations,
+        "baseline": "push-legacy",
+        "fused": "pull",
+        "dense_frontier": True,
+        "arms": report,
+    }
+
+    # -- Jacobi, synchronous engine: always-active (every iteration is
+    # a full-frontier Σ A_ij·x_j), the purest dense-gather workload.
+    ja_problem = matrix_problem(2_000, seed=3)
+    ja_options = {"health_policy": "off"}
+
+    def ja_arm(**extra):
+        return lambda: run_computation(
+            "jacobi", ja_problem, options={**ja_options, **extra})
+
+    report, traces = _bench_arms({
+        "push-legacy": ja_arm(fused_kernels=False),
+        "pull": ja_arm(direction="pull"),
+    })
+    _assert_identical(traces["push-legacy"], traces["pull"], "jacobi/pull")
+    workloads["jacobi/sync"] = {
+        "n_edges": ja_problem.graph.n_edges,
+        "n_iterations": traces["pull"].n_iterations,
+        "baseline": "push-legacy",
+        "fused": "pull",
+        "dense_frontier": True,
+        "arms": report,
+    }
+
+    # -- CC, edge-centric engine: the stream touches every arc every
+    # iteration (dense by construction); fused mode replaces the
+    # ``np.minimum.at`` scatter-add with one segment reduction.
+    from repro.algorithms.registry import create
+    from repro.engine.edge_centric import EdgeCentricEngine, EdgeCentricOptions
+
+    ec_problem = powerlaw_graph(SCALE, 2.3, seed=61)
+
+    def ec_arm(fused):
+        opts = EdgeCentricOptions(fused_kernels=fused)
+        return lambda: EdgeCentricEngine(opts).run(create("cc"), ec_problem)
+
+    report, traces = _bench_arms({
+        "stream-legacy": ec_arm(False),
+        "stream-fused": ec_arm(True),
+    })
+    _assert_identical(traces["stream-legacy"], traces["stream-fused"],
+                      "cc/edge-centric")
+    workloads["cc/edge-centric"] = {
+        "n_edges": ec_problem.graph.n_edges,
+        "n_iterations": traces["stream-fused"].n_iterations,
+        "baseline": "stream-legacy",
+        "fused": "stream-fused",
+        "dense_frontier": True,
+        "arms": report,
+    }
+
+    # -- CC, graph-centric engine: threshold 0 forces every inner sweep
+    # through the dense kernel; the legacy arm disables fusion outright.
+    from repro.engine.graph_centric import (
+        GraphCentricEngine,
+        GraphCentricOptions,
+    )
+
+    def gc_arm(**kw):
+        opts = GraphCentricOptions(**kw)
+        return lambda: GraphCentricEngine(opts).run(create("cc"), ec_problem)
+
+    report, traces = _bench_arms({
+        "sweep-legacy": gc_arm(fused_kernels=False),
+        "sweep-fused": gc_arm(direction_threshold=0.0),
+    })
+    _assert_identical(traces["sweep-legacy"], traces["sweep-fused"],
+                      "cc/graph-centric")
+    workloads["cc/graph-centric"] = {
+        "n_edges": ec_problem.graph.n_edges,
+        "n_iterations": traces["sweep-fused"].n_iterations,
+        "baseline": "sweep-legacy",
+        "fused": "sweep-fused",
+        # Partition-local frontiers are sparse slices of |V|; the dense
+        # kernel is forced here for coverage, not for speed.
+        "dense_frontier": False,
+        "arms": report,
+    }
+
+    speedups = {
+        name: (w["arms"][w["fused"]]["edges_per_s"]
+               / w["arms"][w["baseline"]]["edges_per_s"])
+        for name, w in workloads.items()
+    }
+    dense = {n: s for n, s in speedups.items()
+             if workloads[n]["dense_frontier"]}
+    out = {
+        "rounds": ROUNDS,
+        "workloads": workloads,
+        "speedup": speedups,
+        "max_dense_frontier_speedup": max(dense.values()),
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(out, indent=2) + "\n", encoding="utf-8")
+
+    assert max(dense.values()) >= MIN_DENSE_SPEEDUP, out["speedup"]

@@ -26,4 +26,11 @@ PYTHONPATH=src python -m pytest -x -q "$@"
 if [ "${REPRO_SKIP_BENCH:-0}" != "1" ]; then
     echo "== telemetry overhead smoke =="
     PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -x -q
+
+    # Engine perf smoke: fused kernels keep their ≥3× dense-frontier
+    # win and stay bit-identical across direction modes (DESIGN.md §13).
+    echo "== engine kernel perf smoke =="
+    PYTHONPATH=src python -m pytest \
+        benchmarks/test_engine_throughput.py::test_bench_engine_kernels \
+        -x -q
 fi

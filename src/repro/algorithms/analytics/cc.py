@@ -33,6 +33,10 @@ class ConnectedComponents(VertexProgram):
     supports_async = True
     #: Monotone min-relaxation: also runs edge-centrically (X-Stream).
     supports_edge_centric = True
+    #: Fused kernels: gather is min over neighbor labels. The scatter
+    #: mask compares center vs neighbor labels, so it stays on the
+    #: callback path (no "center" shape).
+    gather_shape = "vertex"
 
     def __init__(self) -> None:
         self.component: np.ndarray | None = None
@@ -49,6 +53,9 @@ class ConnectedComponents(VertexProgram):
 
     def gather_edge(self, ctx, nbr, center, eid):
         return self.component[nbr]
+
+    def gather_source(self, ctx):
+        return self.component
 
     def apply(self, ctx, vids, acc):
         acc = acc.ravel()

@@ -30,6 +30,12 @@ class KCoreDecomposition(VertexProgram):
     gather_op = "sum"
     gather_width = 1
     apply_flops_per_vertex = 2.0
+    #: Fused kernels: effective degree is a 0/1 count — sums of
+    #: indicator values are exact in any order, so the fused gather may
+    #: run as a plain SpMV. Scatter compares center *and* neighbor
+    #: state, so it stays on the callback path.
+    gather_shape = "vertex"
+    gather_source_exact = True
 
     def __init__(self) -> None:
         self.alive: np.ndarray | None = None
@@ -52,6 +58,9 @@ class KCoreDecomposition(VertexProgram):
         # Effective degree: count alive neighbors. Recomputing (rather
         # than decrementing) keeps the phase restarts idempotent.
         return self.alive[nbr].astype(np.float64)
+
+    def gather_source(self, ctx):
+        return self.alive.astype(np.float64)
 
     def apply(self, ctx, vids, acc):
         eff_deg = acc.ravel()

@@ -41,6 +41,10 @@ class PageRank(VertexProgram):
     apply_flops_per_vertex = 3.0
     #: Signal-driven: runs under the asynchronous engine too.
     supports_async = True
+    #: Fused kernels: gather is Σ (rank·inv_deg)[u]; scatter mask
+    #: depends only on the center's delta.
+    gather_shape = "vertex"
+    scatter_shape = "center"
 
     def signal_priority(self, ctx, v: int) -> float:
         """Priority scheduling refreshes the most-perturbed ranks first
@@ -62,9 +66,9 @@ class PageRank(VertexProgram):
         n = ctx.n_vertices
         self.rank = np.ones(n)
         self._delta = np.zeros(n)
-        deg = ctx.graph.out_degree.astype(np.float64)
-        # Dangling vertices contribute nothing; avoid division by zero.
-        self._inv_deg = np.where(deg > 0, 1.0 / np.maximum(deg, 1.0), 0.0)
+        # Guarded normalization: dangling (degree-0) vertices map to
+        # 0.0, never NaN/Inf.
+        self._inv_deg = ctx.graph.inv_out_degree
         return ctx.all_vertices()
 
     def state_bytes(self, ctx: Context) -> int:
@@ -73,6 +77,10 @@ class PageRank(VertexProgram):
     def gather_edge(self, ctx, nbr, center, eid):
         return self.rank[nbr] * self._inv_deg[nbr]
 
+    def gather_source(self, ctx):
+        # (rank * inv_deg)[u] == rank[u] * inv_deg[u] bit for bit.
+        return self.rank * self._inv_deg
+
     def apply(self, ctx, vids, acc):
         new_rank = (1.0 - self.damping) + self.damping * acc.ravel()
         self._delta[vids] = np.abs(new_rank - self.rank[vids])
@@ -80,6 +88,9 @@ class PageRank(VertexProgram):
 
     def scatter_edges(self, ctx, center, nbr, eid):
         return self._delta[center] > self.tol
+
+    def scatter_vertex_mask(self, ctx, vids):
+        return self._delta[vids] > self.tol
 
     def result(self, ctx) -> dict:
         return {

@@ -66,8 +66,12 @@ class SingleSourceShortestPath(VertexProgram):
         self._changed = np.zeros(n, dtype=bool)
         if graph.edge_weight is not None:
             self._weights = graph.edge_weight
+            # dist[u] + w[e], per edge.
+            self.gather_shape = "vertex_plus_edge"
         else:
             self._weights = None  # unit weights
+            # (dist + 1.0)[u] == dist[u] + 1.0 bit for bit.
+            self.gather_shape = "vertex"
         return np.asarray([self.source], dtype=np.int64)
 
     def state_bytes(self, ctx: Context) -> int:
@@ -78,6 +82,11 @@ class SingleSourceShortestPath(VertexProgram):
 
     def gather_edge(self, ctx, nbr, center, eid):
         return self.dist[nbr] + self._w(eid)
+
+    def gather_source(self, ctx):
+        # Weighted: the kernel adds the per-slot weight; unweighted:
+        # fold the unit hop into the source (bit-identical either way).
+        return self.dist if self._weights is not None else self.dist + 1.0
 
     def apply(self, ctx, vids, acc):
         acc = acc.ravel()

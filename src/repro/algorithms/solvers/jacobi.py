@@ -37,6 +37,10 @@ class JacobiSolver(VertexProgram):
     gather_op = "sum"
     gather_width = 1
     apply_flops_per_vertex = 3.0
+    #: Fused kernels: the off-diagonal row sum is Σ A_ij·x_j and every
+    #: vertex always rebroadcasts (an unconditional "center" scatter).
+    gather_shape = "vertex_times_edge"
+    scatter_shape = "center"
 
     def __init__(self, tol: float = 1e-8) -> None:
         if tol <= 0:
@@ -65,6 +69,9 @@ class JacobiSolver(VertexProgram):
     def gather_edge(self, ctx, nbr, center, eid):
         return ctx.graph.edge_weight[eid] * self.x[nbr]
 
+    def gather_source(self, ctx):
+        return self.x
+
     def apply(self, ctx, vids, acc):
         new_x = (self._b[vids] - acc.ravel()) / self._diag[vids]
         delta = float(np.abs(new_x - self.x[vids]).max()) if vids.size else 0.0
@@ -78,6 +85,9 @@ class JacobiSolver(VertexProgram):
     def scatter_edges(self, ctx, center, nbr, eid):
         # Everyone rebroadcasts its new x along the matrix structure.
         return np.ones(center.size, dtype=bool)
+
+    def scatter_vertex_mask(self, ctx, vids):
+        return np.ones(vids.size, dtype=bool)
 
     def select_next_frontier(self, ctx, signaled):
         return ctx.all_vertices()

@@ -55,6 +55,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--work-model", choices=("unit", "measured"),
                      default="unit")
     run.add_argument("--max-iterations", type=int, default=None)
+    run.add_argument("--direction", choices=("auto", "push", "pull"),
+                     default=None,
+                     help="gather traversal direction for fusable "
+                          "programs: push follows the frontier, pull "
+                          "reduces over the whole graph, auto switches "
+                          "on frontier density (default: auto)")
+    run.add_argument("--direction-threshold", type=float, default=None,
+                     metavar="FRAC",
+                     help="active fraction of |V| above which "
+                          "--direction auto gathers in pull mode "
+                          "(default: 0.25)")
+    run.add_argument("--no-fused-kernels", action="store_true",
+                     help="disable the fused CSR gather/scatter kernels "
+                          "(always-push callback paths; results are "
+                          "bit-identical either way)")
     run.add_argument("--health-policy", choices=("strict", "degrade", "off"),
                      default=None,
                      help="convergence-watchdog policy: strict raises, "
@@ -276,6 +291,12 @@ def _cmd_run(args) -> int:
     options: dict = {"mode": args.mode, "work_model": args.work_model}
     if args.max_iterations is not None:
         options["max_iterations"] = args.max_iterations
+    if args.direction is not None:
+        options["direction"] = args.direction
+    if args.direction_threshold is not None:
+        options["direction_threshold"] = args.direction_threshold
+    if args.no_fused_kernels:
+        options["fused_kernels"] = False
     if args.health_policy is not None:
         options["health_policy"] = args.health_policy
     if args.health_check_every is not None:

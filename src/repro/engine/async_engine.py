@@ -44,6 +44,7 @@ import numpy as np
 
 from repro._util.errors import ResourceLimitError, ValidationError
 from repro._util.segments import REDUCE_IDENTITY, segmented_reduce
+from repro.engine.kernels import reduce_block
 from repro._util.timing import Deadline
 from repro.behavior.trace import IterationRecord, RunTrace
 from repro.engine.checkpoint import (
@@ -88,6 +89,10 @@ class AsyncEngineOptions:
     wall_clock_budget_s: "float | None" = None
     #: Round-level checkpointing contract; None disables snapshots.
     checkpoint: "CheckpointConfig | None" = None
+    #: Per-step fused adjacency access: CSR slice views plus a direct
+    #: single-block ``reduceat`` instead of index materialization and
+    #: the general segment kernel (bit-identical; DESIGN §13).
+    fused_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -334,20 +339,31 @@ class AsynchronousEngine:
               s_ptr, s_idx, s_eid, scheduler) -> tuple[int, int, float]:
         vid = np.asarray([v], dtype=np.int64)
 
+        fused = self.options.fused_kernels
         reads = 0
         acc = None
         if g_ptr is not None:
             s, e = int(g_ptr[v]), int(g_ptr[v + 1])
             if e > s:
-                slots = np.arange(s, e)
-                nbr = g_idx[slots]
+                if fused:
+                    # One vertex's slots are contiguous: slice views
+                    # replace index materialization + fancy indexing.
+                    nbr = g_idx[s:e]
+                    eids = g_eid[s:e]
+                else:
+                    slots = np.arange(s, e)
+                    nbr = g_idx[slots]
+                    eids = g_eid[slots]
                 center = np.full(nbr.size, v, dtype=np.int64)
                 contributions = np.asarray(
-                    program.gather_edge(ctx, nbr, center, g_eid[slots]),
+                    program.gather_edge(ctx, nbr, center, eids),
                     dtype=program.gather_dtype)
-                acc = segmented_reduce(contributions,
-                                       np.asarray([nbr.size]),
-                                       program.gather_op)
+                if fused:
+                    acc = reduce_block(contributions, program.gather_op)
+                else:
+                    acc = segmented_reduce(contributions,
+                                           np.asarray([nbr.size]),
+                                           program.gather_op)
                 reads = nbr.size
             else:
                 width = program.gather_width
@@ -369,11 +385,16 @@ class AsynchronousEngine:
         if s_ptr is not None:
             s, e = int(s_ptr[v]), int(s_ptr[v + 1])
             if e > s:
-                slots = np.arange(s, e)
-                nbr = s_idx[slots]
+                if fused:
+                    nbr = s_idx[s:e]
+                    eids = s_eid[s:e]
+                else:
+                    slots = np.arange(s, e)
+                    nbr = s_idx[slots]
+                    eids = s_eid[slots]
                 center = np.full(nbr.size, v, dtype=np.int64)
                 mask = np.asarray(
-                    program.scatter_edges(ctx, center, nbr, s_eid[slots]),
+                    program.scatter_edges(ctx, center, nbr, eids),
                     dtype=bool)
                 msgs = int(mask.sum())
                 for u in nbr[mask].tolist():

@@ -75,6 +75,9 @@ class EdgeCentricOptions:
     wall_clock_budget_s: "float | None" = None
     #: Iteration-level checkpointing contract; None disables snapshots.
     checkpoint: "CheckpointConfig | None" = None
+    #: Stream fusable gathers as one dense segment reduction instead of
+    #: buffered ``np.ufunc.at`` scatter-adds (bit-identical; DESIGN §13).
+    fused_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -116,6 +119,10 @@ class EdgeCentricEngine:
 
         # The full arc list in (source, target, eid) form, as streamed.
         # Gather direction IN means "target collects from source".
+        # Degree-zero targets own no slots of this expansion (their
+        # in_degree repeat count is 0) and every accumulator path below
+        # fills them with the reduction identity — isolated vertices
+        # never see a divide-by-degree or a garbage accumulator row.
         if program.gather_dir is not Direction.IN:
             raise ValidationError("edge-centric execution assumes "
                                   "gather_dir == Direction.IN")
@@ -123,6 +130,20 @@ class EdgeCentricEngine:
                         graph.in_degree)
         src = graph.in_src
         eid = graph.in_eid
+
+        # Fused stream: when the program declares a fusable gather
+        # shape, the per-arc contributions and the per-target reduction
+        # collapse into one dense CSR segment kernel over cached
+        # offsets. Dead-source slots are pinned to the reduction
+        # identity, which min/max absorb exactly and which leaves sum's
+        # float64 bits unchanged — so the fused stream is bit-identical
+        # to the ``ufunc.at`` scatter-add it replaces.
+        from repro.engine.kernels import FusedKernels
+
+        kernels = None
+        if opts.fused_kernels:
+            kernels = FusedKernels.build(program, graph)
+        fused_stream = kernels is not None and kernels.can_gather
 
         trace = RunTrace(
             algorithm=program.name,
@@ -186,8 +207,12 @@ class EdgeCentricEngine:
 
             # ---- Stream phase: touch EVERY arc; act on live sources.
             live = source_live[src]
-            acc = np.full(graph.n_vertices, identity)
-            if live.any():
+            if not live.any():
+                acc = np.full(graph.n_vertices, identity)
+            elif fused_stream:
+                acc = kernels.stream_dense(ctx, live)
+            else:
+                acc = np.full(graph.n_vertices, identity)
                 contributions = np.asarray(
                     program.gather_edge(ctx, src[live], tgt[live],
                                         eid[live]),
@@ -261,6 +286,13 @@ class EdgeCentricEngine:
                 dtype=np.int64))
             if program.converged(ctx):
                 stop_reason = "converged"
+                trace.converged = True
+                break
+            if frontier.size == 0:
+                # Stop at the drain itself so a run converging exactly
+                # at the iteration cap still reports "frontier-empty"
+                # (same accounting as the synchronous engine).
+                stop_reason = "frontier-empty"
                 trace.converged = True
                 break
             if session is not None and session.due(iteration):

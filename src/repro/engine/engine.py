@@ -52,6 +52,7 @@ from repro.engine.health import (
     validate_health_options,
 )
 from repro.engine.instrumentation import Counters, WorkModel
+from repro.engine.kernels import FusedKernels
 from repro.engine.program import Direction, VertexProgram
 from repro.obs.telemetry import engine_observer
 from repro.generators.problem import ProblemInstance
@@ -90,6 +91,17 @@ class EngineOptions:
     wall_clock_budget_s: "float | None" = None
     #: Iteration-level checkpointing contract; None disables snapshots.
     checkpoint: "CheckpointConfig | None" = None
+    #: Dispatch recognized gather/scatter shapes to fused dense CSR
+    #: kernels (bit-identical to the callback path; DESIGN §13).
+    fused_kernels: bool = True
+    #: Traversal direction policy: ``"auto"`` pulls when the active
+    #: fraction reaches :attr:`direction_threshold`, ``"push"``/
+    #: ``"pull"`` force one mode. Pull requires a fusable program;
+    #: otherwise the engine stays on the push path.
+    direction: str = "auto"
+    #: Active-fraction threshold at which ``"auto"`` switches from push
+    #: (frontier-sliced) to pull (dense full-graph) traversal.
+    direction_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.mode not in ("vectorized", "reference"):
@@ -109,6 +121,13 @@ class EngineOptions:
                 and self.wall_clock_budget_s <= 0):
             raise ValidationError(
                 "wall_clock_budget_s must be positive or None")
+        if self.direction not in ("auto", "push", "pull"):
+            raise ValidationError(
+                f"direction must be 'auto', 'push' or 'pull', got "
+                f"{self.direction!r}")
+        if not 0.0 <= self.direction_threshold <= 1.0:
+            raise ValidationError(
+                "direction_threshold must be in [0, 1]")
 
 
 class SynchronousEngine:
@@ -184,6 +203,14 @@ class SynchronousEngine:
                 elapsed_s=elapsed_before + time.perf_counter() - started,
                 extra={"frontier": frontier})
 
+        # Fused dense kernels: built once per run (graph-derived caches
+        # only, so checkpoint resume reconstructs them losslessly);
+        # None when the program declares no fusable shape.
+        kernels = None
+        if opts.mode == "vectorized" and opts.fused_kernels:
+            kernels = FusedKernels.build(program, graph)
+        prev_direction: "str | None" = None
+
         stop_reason = "max-iterations"
         for iteration in range(start_iteration, opts.max_iterations):
             deadline.check()
@@ -193,14 +220,30 @@ class SynchronousEngine:
                 break
             ctx.iteration = iteration
             active = frontier
+            # Direction decision: a pure function of this iteration's
+            # active fraction and the configured policy — stateless, so
+            # a resumed run re-derives the identical push/pull sequence.
+            active_fraction = frontier.size / graph.n_vertices
+            pull = kernels is not None and (
+                opts.direction == "pull"
+                or (opts.direction == "auto"
+                    and active_fraction >= opts.direction_threshold))
             # Telemetry is observational only: phase timing is sampled
             # (obs level dependent) and never feeds back into counters,
             # so the unit work model stays bit-reproducible.
             sampled = obs is not None and obs.sampled(iteration)
             phase_times: "dict[str, float] | None" = {} if sampled else None
             obs_started = time.perf_counter() if sampled else 0.0
+            if obs is not None:
+                mode_label = "pull" if pull else "push"
+                obs.direction(
+                    mode=mode_label, active_fraction=active_fraction,
+                    switched=(prev_direction is not None
+                              and prev_direction != mode_label))
+                prev_direction = mode_label
             counters, frontier = self._iterate(program, ctx, frontier,
-                                               phase_times)
+                                               phase_times, kernels=kernels,
+                                               pull=pull)
             monitor.inject_state_fault(program, iteration)
             counters.edge_reads = monitor.inject_edge_reads(
                 counters.edge_reads, iteration)
@@ -232,6 +275,14 @@ class SynchronousEngine:
                 stop_reason = "converged"
                 trace.converged = True
                 break
+            if frontier.size == 0:
+                # A drained frontier ends the run *now*, not at the top
+                # of a next loop pass that an iteration cap might never
+                # grant — otherwise a run converging exactly at the cap
+                # would misreport "max-iterations".
+                stop_reason = "frontier-empty"
+                trace.converged = True
+                break
             if session is not None and session.due(iteration):
                 flush(iteration + 1)
 
@@ -252,6 +303,8 @@ class SynchronousEngine:
         ctx: Context,
         frontier: np.ndarray,
         phase_times: "dict[str, float] | None" = None,
+        kernels: "FusedKernels | None" = None,
+        pull: bool = False,
     ) -> tuple[Counters, np.ndarray]:
         counters = Counters(active=int(frontier.size))
         graph = ctx.graph
@@ -261,11 +314,14 @@ class SynchronousEngine:
         # ---- Gather -------------------------------------------------
         acc: np.ndarray | None = None
         if program.gather_dir is not Direction.NONE:
-            ptr, idx, eid = self._adjacency(graph, program.gather_dir)
-            if self.options.mode == "vectorized":
+            if pull and kernels is not None and kernels.can_gather:
+                acc, n_reads = kernels.gather_frontier(ctx, frontier)
+            elif self.options.mode == "vectorized":
+                ptr, idx, eid = self._adjacency(graph, program.gather_dir)
                 acc, n_reads = self._gather_vectorized(
                     program, ctx, frontier, ptr, idx, eid)
             else:
+                ptr, idx, eid = self._adjacency(graph, program.gather_dir)
                 acc, n_reads = self._gather_reference(
                     program, ctx, frontier, ptr, idx, eid)
             counters.edge_reads += n_reads
@@ -296,11 +352,14 @@ class SynchronousEngine:
         # ---- Scatter ------------------------------------------------
         signaled = np.empty(0, dtype=np.int64)
         if program.scatter_dir is not Direction.NONE:
-            ptr, idx, eid = self._adjacency(graph, program.scatter_dir)
-            if self.options.mode == "vectorized":
+            if pull and kernels is not None and kernels.can_scatter:
+                signaled, n_msgs = kernels.scatter_frontier(ctx, frontier)
+            elif self.options.mode == "vectorized":
+                ptr, idx, eid = self._adjacency(graph, program.scatter_dir)
                 signaled, n_msgs = self._scatter_vectorized(
                     program, ctx, frontier, ptr, idx, eid)
             else:
+                ptr, idx, eid = self._adjacency(graph, program.scatter_dir)
                 signaled, n_msgs = self._scatter_reference(
                     program, ctx, frontier, ptr, idx, eid)
             counters.messages += n_msgs
@@ -313,8 +372,12 @@ class SynchronousEngine:
         if self.options.work_model != "measured":
             unit = program.apply_flops_per_vertex * frontier.size + extra
             counters.work += unit * self.options.unit_scale
-        nxt = self._canonical_frontier(
-            program.select_next_frontier(ctx, signaled), graph.n_vertices)
+        nxt = program.select_next_frontier(ctx, signaled)
+        if nxt is not signaled:
+            nxt = self._canonical_frontier(nxt, graph.n_vertices)
+        # (else: every engine scatter path already produces a sorted
+        # unique in-range array — re-canonicalizing it would only
+        # re-sort the hot loop's largest intermediate.)
         if timed:
             phase_times["scatter"] = time.perf_counter() - mark
         return counters, nxt

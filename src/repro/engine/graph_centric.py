@@ -74,6 +74,13 @@ class GraphCentricOptions:
     wall_clock_budget_s: "float | None" = None
     #: Superstep-level checkpointing contract; None disables snapshots.
     checkpoint: "CheckpointConfig | None" = None
+    #: Gather dense local frontiers through the fused dense CSR kernel
+    #: (bit-identical; DESIGN §13). Scatter keeps the callback path —
+    #: the partition split needs per-edge (center, neighbor) pairs.
+    fused_kernels: bool = True
+    #: Local-frontier density (fraction of |V|) above which a sweep's
+    #: gather uses the fused dense kernel instead of frontier slicing.
+    direction_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.n_partitions < 1:
@@ -86,6 +93,9 @@ class GraphCentricOptions:
                 and self.wall_clock_budget_s <= 0):
             raise ValidationError(
                 "wall_clock_budget_s must be positive or None")
+        if not 0.0 <= self.direction_threshold <= 1.0:
+            raise ValidationError(
+                "direction_threshold must be in [0, 1]")
 
 
 class GraphCentricEngine:
@@ -114,6 +124,16 @@ class GraphCentricEngine:
 
         partition = (np.arange(graph.n_vertices, dtype=np.int64)
                      % opts.n_partitions)
+
+        from repro.engine.kernels import FusedKernels
+
+        kernels = None
+        if opts.fused_kernels:
+            kernels = FusedKernels.build(program, graph)
+        fused_gather = kernels is not None and kernels.can_gather
+        # Density gate in vertices: below it the frontier-sliced gather
+        # touches fewer slots than the dense kernel would.
+        dense_min = opts.direction_threshold * graph.n_vertices
 
         trace = RunTrace(
             algorithm=program.name,
@@ -178,22 +198,30 @@ class GraphCentricEngine:
                 for _sweep in range(opts.max_inner_sweeps):
                     if local.size == 0:
                         break
-                    # Gather over all in-edges of the local frontier.
-                    starts = graph.in_ptr[local]
-                    ends = graph.in_ptr[local + 1]
-                    slots = concat_ranges(starts, ends)
-                    nbr = graph.in_src[slots]
-                    center = np.repeat(local, ends - starts)
-                    contributions = np.asarray(
-                        program.gather_edge(ctx, nbr, center,
-                                            graph.in_eid[slots]),
-                        dtype=np.float64)
-                    acc = segmented_reduce(contributions, ends - starts,
-                                           program.gather_op,
-                                           identity=identity)
+                    # Gather over all in-edges of the local frontier —
+                    # fused dense kernel when the frontier is dense
+                    # enough to amortize the full-graph reduction.
+                    if fused_gather and local.size >= dense_min:
+                        acc = kernels.gather_dense(ctx)[local]
+                        n_slots = int(
+                            kernels.gather_side.counts[local].sum())
+                    else:
+                        starts = graph.in_ptr[local]
+                        ends = graph.in_ptr[local + 1]
+                        slots = concat_ranges(starts, ends)
+                        nbr = graph.in_src[slots]
+                        center = np.repeat(local, ends - starts)
+                        contributions = np.asarray(
+                            program.gather_edge(ctx, nbr, center,
+                                                graph.in_eid[slots]),
+                            dtype=np.float64)
+                        acc = segmented_reduce(contributions, ends - starts,
+                                               program.gather_op,
+                                               identity=identity)
+                        n_slots = int(slots.size)
                     program.apply(ctx, local, acc)
                     updates += int(local.size)
-                    reads += int(slots.size)
+                    reads += n_slots
 
                     # Scatter; internal signals continue the sweep,
                     # external ones wait for the superstep barrier.
@@ -251,6 +279,19 @@ class GraphCentricEngine:
                 frontier = np.unique(np.concatenate(next_frontier_parts))
             else:
                 frontier = np.empty(0, dtype=np.int64)
+            # Contract parity with the other engines: consult the
+            # program's convergence predicate (monotone relaxations
+            # return False — they end by draining), then stop at the
+            # drain itself so a superstep cap cannot turn a converged
+            # run into "max-supersteps".
+            if program.converged(ctx):
+                stop_reason = "converged"
+                trace.converged = True
+                break
+            if frontier.size == 0:
+                stop_reason = "frontier-empty"
+                trace.converged = True
+                break
             if session is not None and session.due(superstep):
                 flush(superstep + 1)
 

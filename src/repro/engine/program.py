@@ -79,6 +79,27 @@ class VertexProgram(ABC):
     #: ``flops_per_vertex * |vids| + extra work reported via ctx.add_work``.
     apply_flops_per_vertex: ClassVar[float] = 1.0
 
+    # -- fused-kernel declarations (DESIGN §13) ------------------------
+    #: Declares that ``gather_edge`` is a pure reduction shape over a
+    #: per-vertex source vector, enabling the engines' fused dense CSR
+    #: kernels. ``None`` (default) keeps the callback path. Recognized
+    #: shapes (``u`` = neighbor, ``e`` = edge id, ``w`` = edge weight):
+    #: ``"vertex"`` → ``source[u]``; ``"vertex_plus_edge"`` →
+    #: ``source[u] + w[e]``; ``"vertex_times_edge"`` → ``w[e] *
+    #: source[u]``. Declaring a shape obliges ``gather_source`` to
+    #: return values bit-identical to what ``gather_edge`` computes.
+    gather_shape: ClassVar["str | None"] = None
+    #: Set when ``gather_source`` values are integer-valued floats whose
+    #: per-vertex sums stay exact in float64 (e.g. 0/1 counts): the
+    #: fused gather may then sum in any order (scipy SpMV) without
+    #: changing bits.
+    gather_source_exact: ClassVar[bool] = False
+    #: ``"center"`` declares that ``scatter_edges`` depends only on the
+    #: center vertex (the mask is constant across one vertex's edges),
+    #: enabling the fused scatter via ``scatter_vertex_mask``. ``None``
+    #: (default) keeps the callback path.
+    scatter_shape: ClassVar["str | None"] = None
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -127,6 +148,37 @@ class VertexProgram(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} declares gather_dir={self.gather_dir} "
             "but does not implement gather_edge"
+        )
+
+    def gather_source(self, ctx: "Context") -> np.ndarray:
+        """Per-vertex source vector of a declared ``gather_shape``.
+
+        Returns a float64 array of shape ``(n_vertices,)`` such that
+        indexing it by the neighbor array reproduces, bit for bit, the
+        contributions ``gather_edge`` would return for the same slots
+        (e.g. PageRank returns ``rank * inv_degree`` because
+        ``(a*b)[u] == a[u]*b[u]`` in float64). Only called when
+        ``gather_shape`` is declared.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares "
+            f"gather_shape={self.gather_shape!r} but does not implement "
+            "gather_source"
+        )
+
+    def scatter_vertex_mask(self, ctx: "Context",
+                            vids: np.ndarray) -> np.ndarray:
+        """Per-*vertex* signal mask of a declared ``"center"`` scatter.
+
+        Returns a boolean array aligned with ``vids``; vertex ``v``
+        signals along **all** of its scatter edges iff its entry is
+        True — exactly the mask ``scatter_edges`` would repeat per
+        edge. Only called when ``scatter_shape == "center"``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares "
+            f"scatter_shape={self.scatter_shape!r} but does not implement "
+            "scatter_vertex_mask"
         )
 
     @abstractmethod

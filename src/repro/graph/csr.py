@@ -25,6 +25,11 @@ import numpy as np
 
 from repro._util.errors import GraphConstructionError, ValidationError
 
+try:  # scipy accelerates the fused indicator SpMV; pure NumPy works too.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is a standard dependency
+    _sparse = None
+
 
 class Graph:
     """Immutable graph in dual-CSR form.
@@ -223,6 +228,78 @@ class Graph:
         deg = self.out_degree + self.in_degree
         deg.setflags(write=False)
         return deg
+
+    @cached_property
+    def inv_out_degree(self) -> np.ndarray:
+        """``1 / out_degree`` with isolated vertices mapped to ``0.0``.
+
+        The guarded form (mask, then divide by ``max(deg, 1)``) never
+        evaluates ``1/0``, so no NaN/Inf ever enters a normalization —
+        degree-zero vertices simply contribute nothing. Cached read-only
+        like :attr:`out_degree`.
+        """
+        deg = self.out_degree.astype(np.float64)
+        inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1.0), 0.0)
+        inv.setflags(write=False)
+        return inv
+
+    @cached_property
+    def inv_in_degree(self) -> np.ndarray:
+        """``1 / in_degree`` with isolated vertices mapped to ``0.0``;
+        guarded and cached like :attr:`inv_out_degree`."""
+        deg = self.in_degree.astype(np.float64)
+        inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1.0), 0.0)
+        inv.setflags(write=False)
+        return inv
+
+    def _csr_arrays(self, orientation: str):
+        if orientation == "in":
+            return self.in_ptr, self.in_src
+        if orientation == "out":
+            return self.out_ptr, self.out_dst
+        raise ValidationError(
+            f"orientation must be 'in' or 'out', got {orientation!r}")
+
+    def ones_adjacency_csr(self, orientation: str = "in"):
+        """``scipy.sparse`` CSR of one adjacency with unit data, cached.
+
+        Row ``v`` holds a ``1.0`` per adjacency slot, so ``M @ x`` is
+        the per-vertex sum of neighbor values. Returns ``None`` when
+        scipy is unavailable (callers fall back to the segment-reduce
+        path). The matrix is built once per orientation and cached on
+        the immutable graph.
+        """
+        if _sparse is None:
+            return None
+        cache = self.__dict__.setdefault("_ones_csr_cache", {})
+        mat = cache.get(orientation)
+        if mat is None:
+            ptr, idx = self._csr_arrays(orientation)
+            mat = _sparse.csr_matrix(
+                (np.ones(idx.size, dtype=np.float64),
+                 idx.astype(np.int64, copy=True),
+                 ptr.astype(np.int64, copy=True)),
+                shape=(self.n_vertices, self.n_vertices),
+            )
+            cache[orientation] = mat
+        return mat
+
+    def spmv_ones(self, orientation: str, x: np.ndarray) -> np.ndarray:
+        """``y[v] = Σ x[u]`` over ``v``'s neighbors in one adjacency.
+
+        scipy-backed when available, else a pure-NumPy segment reduce.
+        The two backends sum in different orders, so this is only used
+        where every order gives the same float64 result — integer-valued
+        ``x`` (indicator/count vectors) whose per-row sums stay below
+        2**53, as in the fused scatter's "who got signaled" SpMV.
+        """
+        mat = self.ones_adjacency_csr(orientation)
+        if mat is not None:
+            return mat.dot(x)
+        from repro._util.segments import segmented_reduce
+
+        ptr, idx = self._csr_arrays(orientation)
+        return segmented_reduce(x[idx], np.diff(ptr), "sum")
 
     def out_neighbors(self, v: int) -> np.ndarray:
         """Sorted out-neighbor ids of ``v`` (a read-only view)."""

@@ -400,6 +400,23 @@ class EngineObserver:
                 tel.observe("engine_phase_seconds", dt,
                             phase=phase, **labels)
 
+    def direction(self, *, mode: str, active_fraction: float,
+                  switched: bool) -> None:
+        """Record one iteration's traversal direction decision.
+
+        ``mode`` is ``"push"`` or ``"pull"``; ``switched`` marks
+        iterations whose mode differs from the previous one, and those
+        observe the active fraction that triggered the switch.
+        Observational only — the decision itself is a pure function of
+        (active_fraction, threshold), never of telemetry state.
+        """
+        tel = self.tel
+        labels = {"engine": self.engine, "algorithm": self.algorithm}
+        tel.inc("engine_direction_iterations_total", 1, mode=mode, **labels)
+        if switched:
+            tel.observe("engine_direction_switch_active_fraction",
+                        active_fraction, to=mode, **labels)
+
 
 # -- process-global instance ------------------------------------------
 

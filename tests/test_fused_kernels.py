@@ -1,0 +1,259 @@
+"""Fused CSR kernels and direction optimization (DESIGN §13).
+
+The contract under test: the fused gather/scatter kernels and the
+push/pull direction policy are *pure implementation choices* — every
+arm (fused off, fused push, fused pull, auto-switching, reference
+mode) must produce bit-identical traces: same iteration counts, same
+WORK units, same per-iteration counters, and literally the same
+frontier arrays, on power-law, grid, and uniform graphs alike.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import create
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    SnapshotStore,
+)
+from repro.engine.engine import EngineOptions, SynchronousEngine
+from repro.engine.kernels import VERIFY_ENV, FusedKernels, reduce_block
+from repro.generators import (
+    erdos_renyi_graph,
+    matrix_problem,
+    powerlaw_graph,
+    regular_graph,
+)
+from repro.generators.problem import ProblemInstance
+from repro.graph.csr import Graph
+
+
+def lattice_problem(side=18):
+    """An undirected 2-D grid lattice (the "grid" topology family)."""
+    vid = np.arange(side * side).reshape(side, side)
+    src = np.concatenate([vid[:, :-1].ravel(), vid[:-1, :].ravel()])
+    dst = np.concatenate([vid[:, 1:].ravel(), vid[1:, :].ravel()])
+    return ProblemInstance(
+        graph=Graph.from_edges(side * side, src, dst, directed=False),
+        domain="ga",
+        params={"family": "grid", "side": side},
+    )
+
+
+GRAPHS = {
+    "powerlaw": lambda: powerlaw_graph(2_000, 2.3, seed=11),
+    "uniform": lambda: erdos_renyi_graph(2_000, seed=12),
+    "regular": lambda: regular_graph(400, 6, seed=13),
+    "grid": lambda: lattice_problem(),
+}
+
+ALGORITHMS = ("pagerank", "cc", "sssp", "kcore")
+
+ARMS = {
+    "legacy": dict(fused_kernels=False),
+    "push": dict(direction="push"),
+    "pull": dict(direction="pull"),
+    "auto": dict(direction="auto"),
+    "auto-tight": dict(direction="auto", direction_threshold=0.05),
+    "reference": dict(mode="reference"),
+}
+
+
+def run_arm(algorithm, problem, arm, **extra):
+    """One run; returns (trace, frontier list, final state arrays)."""
+    program = create(algorithm)
+    frontiers = []
+    inner_apply = program.apply
+
+    def recording_apply(ctx, vids, acc):
+        frontiers.append(np.asarray(vids).copy())
+        return inner_apply(ctx, vids, acc)
+
+    program.apply = recording_apply
+    opts = EngineOptions(**{**ARMS[arm], **extra})
+    trace = SynchronousEngine(opts).run(program, problem)
+    state = {name: arr for name, arr in vars(program).items()
+             if isinstance(arr, np.ndarray)}
+    return trace, frontiers, state
+
+
+def assert_equivalent(base, other, label, frontiers=True):
+    trace_a, fronts_a, state_a = base
+    trace_b, fronts_b, state_b = other
+    assert [(r.iteration, r.active, r.updates, r.edge_reads, r.messages,
+             r.work) for r in trace_a.iterations] == \
+           [(r.iteration, r.active, r.updates, r.edge_reads, r.messages,
+             r.work) for r in trace_b.iterations], label
+    assert trace_a.stop_reason == trace_b.stop_reason, label
+    assert trace_a.converged == trace_b.converged, label
+    if frontiers:
+        assert len(fronts_a) == len(fronts_b), label
+        for i, (fa, fb) in enumerate(zip(fronts_a, fronts_b)):
+            np.testing.assert_array_equal(fa, fb,
+                                          err_msg=f"{label} frontier {i}")
+    assert state_a.keys() == state_b.keys(), label
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name],
+                                      err_msg=f"{label} state {name}")
+
+
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_direction_arms_bit_identical(algorithm, family):
+    """Every fused/direction arm reproduces the legacy run exactly —
+    same iteration counters, same frontier sequence, same final state."""
+    problem = GRAPHS[family]()
+    base = run_arm(algorithm, problem, "legacy")
+    assert base[0].n_iterations >= 2  # a trivial run proves nothing
+    for arm in ARMS:
+        if arm == "legacy":
+            continue
+        # Reference mode applies vertex-at-a-time, so its recorded
+        # apply granularity differs; traces and state still match.
+        assert_equivalent(base, run_arm(algorithm, problem, arm),
+                          f"{algorithm}/{family}/{arm}",
+                          frontiers=arm != "reference")
+
+
+def test_weighted_sssp_and_jacobi_arms():
+    """The *_edge gather shapes: dist+w (sssp) and A_ij·x_j (jacobi)."""
+    weighted = powerlaw_graph(2_000, 2.3, seed=17, with_weights=True)
+    base = run_arm("sssp", weighted, "legacy")
+    for arm in ("pull", "auto"):
+        assert_equivalent(base, run_arm("sssp", weighted, arm),
+                          f"sssp-weighted/{arm}")
+
+    system = matrix_problem(120, seed=5)
+    base = run_arm("jacobi", system, "legacy")
+    for arm in ("pull", "auto", "push"):
+        assert_equivalent(base, run_arm("jacobi", system, arm),
+                          f"jacobi/{arm}")
+
+
+def test_runtime_verification_hook(monkeypatch):
+    """REPRO_VERIFY_FUSED=1 cross-checks every fused gather/scatter
+    against the callback path in-line (and passes)."""
+    monkeypatch.setenv(VERIFY_ENV, "1")
+    problem = powerlaw_graph(1_000, 2.4, seed=23)
+    for algorithm in ("pagerank", "kcore"):
+        trace, _, _ = run_arm(algorithm, problem, "pull")
+        assert trace.converged
+
+
+def test_build_rejects_unfusable_programs():
+    problem = powerlaw_graph(500, 2.5, seed=29)
+    graph = problem.graph
+    # Diameter gathers with op "or"; triangle declares no gather shape.
+    for name in ("diameter", "triangle"):
+        program = create(name)
+        assert FusedKernels.build(program, graph) is None
+    kernels = FusedKernels.build(create("pagerank"), graph)
+    assert kernels is not None
+    assert kernels.can_gather and kernels.can_scatter
+    cc = FusedKernels.build(create("cc"), graph)
+    assert cc is not None and cc.can_gather and not cc.can_scatter
+
+
+def test_reduce_block_matches_segmented_reduce():
+    """The single-block fast path is bit-identical to the general
+    segment kernel (both reduce via ``ufunc.reduceat``; a plain
+    ``ufunc.reduce`` would re-associate the sum and change bits)."""
+    from repro._util.segments import segmented_reduce
+
+    rng = np.random.default_rng(31)
+    values = rng.random(257)
+    out = reduce_block(values, "sum")
+    ref = segmented_reduce(values, np.asarray([values.size]), "sum")
+    assert out.shape == (1,)
+    assert out[0] == ref[0]
+    assert reduce_block(values, "min")[0] == values.min()
+
+
+def test_auto_switch_telemetry(tmp_path):
+    """A run that crosses the direction threshold mid-flight records
+    per-mode iteration counters and the switch-point histogram."""
+    from repro.obs.telemetry import configure, deactivate, get_telemetry
+
+    problem = powerlaw_graph(2_000, 2.3, seed=11)
+    # PageRank's frontier decays gradually: with the threshold at 0.5
+    # the run starts in pull mode and switches to push as it drains.
+    extra = dict(direction_threshold=0.5)
+    base = run_arm("pagerank", problem, "auto", **extra)
+    fractions = [r.active / problem.graph.n_vertices
+                 for r in base[0].iterations]
+    assert max(fractions) >= 0.5 > min(fractions), \
+        "workload must cross the threshold for this test to bite"
+
+    configure("full", run_id="dirsw")
+    try:
+        run_arm("pagerank", problem, "auto", **extra)
+        tel = get_telemetry()
+        labels = dict(engine="synchronous", algorithm="pagerank")
+        pulls = tel.counter_value("engine_direction_iterations_total",
+                                  mode="pull", **labels)
+        pushes = tel.counter_value("engine_direction_iterations_total",
+                                   mode="push", **labels)
+        assert pulls == sum(f >= 0.5 for f in fractions)
+        assert pushes == sum(f < 0.5 for f in fractions)
+        hist = tel.histogram("engine_direction_switch_active_fraction",
+                             to="push", **labels)
+        assert hist is not None and hist.count >= 1
+    finally:
+        deactivate()
+
+
+def test_checkpoint_resume_across_direction_switch(tmp_path, monkeypatch):
+    """Killing an auto-direction run *before* its pull→push switch and
+    resuming replays the identical trace — the direction decision is a
+    pure function of (active_fraction, threshold), not of run history."""
+    from repro.engine.checkpoint import INJECT_KILL_ENV, SimulatedKillError
+
+    problem = powerlaw_graph(2_000, 2.3, seed=11)
+    options = dict(direction="auto", direction_threshold=0.5)
+
+    base_program = create("pagerank")
+    base = SynchronousEngine(EngineOptions(**options)).run(
+        base_program, problem)
+    fractions = [r.active / problem.graph.n_vertices
+                 for r in base.iterations]
+    switch_at = next(i for i, f in enumerate(fractions) if f < 0.5)
+    assert 1 <= switch_at < len(fractions)
+
+    key = "dirswitch"
+    store = SnapshotStore(tmp_path)
+    config = CheckpointConfig(store=store,
+                              policy=CheckpointPolicy.parse("1"), key=key)
+    # Die right after the snapshot covering the pre-switch iteration.
+    monkeypatch.setenv(INJECT_KILL_ENV, f"{key}:{switch_at - 1}")
+    with pytest.raises(SimulatedKillError):
+        SynchronousEngine(EngineOptions(checkpoint=config, **options)).run(
+            create("pagerank"), problem)
+    monkeypatch.delenv(INJECT_KILL_ENV)
+    assert store.latest_iteration(key) == switch_at
+
+    resumed_program = create("pagerank")
+    config = CheckpointConfig(store=SnapshotStore(tmp_path),
+                              policy=CheckpointPolicy.parse("1"),
+                              key=key, resume=True)
+    trace = SynchronousEngine(
+        EngineOptions(checkpoint=config, **options)).run(
+        resumed_program, problem)
+
+    assert trace.meta["resumed_from_iteration"] == switch_at
+    assert [(r.iteration, r.active, r.updates, r.edge_reads, r.messages,
+             r.work) for r in trace.iterations] == \
+           [(r.iteration, r.active, r.updates, r.edge_reads, r.messages,
+             r.work) for r in base.iterations]
+    assert trace.stop_reason == base.stop_reason
+    for name, arr in vars(base_program).items():
+        if isinstance(arr, np.ndarray):
+            np.testing.assert_array_equal(getattr(resumed_program, name),
+                                          arr, err_msg=name)
+
+
+def test_verify_env_name_is_stable():
+    assert VERIFY_ENV == "REPRO_VERIFY_FUSED"
+    assert os.environ.get(VERIFY_ENV) is None
