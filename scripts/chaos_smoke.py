@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Chaos smoke gate: one supervised corpus build under random worker
+SIGKILLs plus an injected worker stall must converge — in a single
+pass — to vectors exactly matching an undisturbed build, with zero
+unexpected failures, no leaked shared-memory segments, and no leaked
+worksite/heartbeat files.
+
+Run from the repo root (CI wraps it in a wall-clock timeout)::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+
+Exit codes: 0 pass, 1 assertion failed.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.config import ExperimentMatrix, Profile
+from repro.experiments.corpus import build_corpus, run_cache_key
+from repro.experiments.results import ResultStore
+
+#: Small enough to finish in well under a minute, large enough to span
+#: every generator family and exercise the shared-memory graph plane.
+PROFILE = Profile(
+    name="chaossmoke",
+    ga_sizes=(200, 600),
+    cf_sizes=(80, 200),
+    matrix_rows=(30,),
+    grid_sides=(8,),
+    mrf_edges=(40,),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=1_000,
+    seed=11,
+    alphas=(2.0, 2.5),
+)
+
+#: Cell whose worker is stalled (heartbeats suspended) once: drives the
+#: lease-expiry -> revoke -> re-dispatch path. SIGKILLs drive the
+#: dead-worker path. Both must be absorbed within the one build.
+STALL_TARGET = "cc-ga-ne200-a2.0"
+N_KILL_TOKENS = 2
+
+
+def fail(message: str) -> None:
+    print(f"CHAOS-SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-smoke-"))
+    pre_segments = set(glob.glob("/dev/shm/repro-shm-*"))
+    pre_worksites = set(glob.glob(
+        os.path.join(tempfile.gettempdir(), "repro-worksite-*")))
+
+    print("== clean reference build (inline) ==")
+    clean = build_corpus(PROFILE, store=ResultStore(workdir / "clean"),
+                         workers=1)
+    if clean.unexpected_failures:
+        fail(f"clean build had unexpected failures: "
+             f"{[str(f.failure) for f in clean.unexpected_failures]}")
+    expected = [(v.tag, v.as_array().tolist()) for v in clean.vectors()]
+
+    # Finite fault budgets so the build provably converges: each
+    # SIGKILL and the stall consume one token.
+    kill_tokens = workdir / "kill-tokens"
+    kill_tokens.mkdir()
+    for i in range(N_KILL_TOKENS):
+        (kill_tokens / f"token-{i}").touch()
+    stall_tokens = workdir / "stall-tokens"
+    stall_tokens.mkdir()
+    (stall_tokens / "token-0").touch()
+    os.environ["REPRO_CHAOS_KILL"] = f"{kill_tokens}:1.0"
+    os.environ["REPRO_INJECT_STALL"] = f"{STALL_TARGET}:30"
+    os.environ["REPRO_INJECT_STALL_TOKENS"] = str(stall_tokens)
+
+    print("== supervised build under SIGKILL + stall injection ==")
+    corpus = build_corpus(
+        PROFILE, store=ResultStore(workdir / "chaos"), workers=2,
+        retries=0, checkpoint_dir=workdir / "snaps", checkpoint_every="1",
+        lease_timeout_s=2.0, heartbeat_every_s=0.25,
+        max_lease_expiries=N_KILL_TOKENS + 3)
+    for env in ("REPRO_CHAOS_KILL", "REPRO_INJECT_STALL",
+                "REPRO_INJECT_STALL_TOKENS"):
+        os.environ.pop(env, None)
+    print(corpus.summary())
+
+    if list(kill_tokens.iterdir()) or list(stall_tokens.iterdir()):
+        fail("fault injection never fired — the gate tested nothing")
+    if corpus.unexpected_failures:
+        fail(f"chaos build had unexpected failures: "
+             f"{[str(f.failure) for f in corpus.unexpected_failures]}")
+    if corpus.interrupted:
+        fail("chaos build reported interrupted")
+    if corpus.lease_expiries + corpus.workers_replaced < 1:
+        fail("no lease expiry or worker replacement recorded — the "
+             "scheduler absorbed nothing")
+    actual = [(v.tag, v.as_array().tolist()) for v in corpus.vectors()]
+    if actual != expected:
+        fail("chaos build vectors differ from the clean build")
+
+    leaked_shm = set(glob.glob("/dev/shm/repro-shm-*")) - pre_segments
+    if leaked_shm:
+        fail(f"leaked shared-memory segments: {sorted(leaked_shm)}")
+    leaked_sites = set(glob.glob(os.path.join(
+        tempfile.gettempdir(), "repro-worksite-*"))) - pre_worksites
+    if leaked_sites:
+        fail(f"leaked worksite/heartbeat files: {sorted(leaked_sites)}")
+
+    print(f"CHAOS-SMOKE PASS: {corpus.n_runs} runs bit-identical under "
+          f"{corpus.workers_replaced} worker replacements and "
+          f"{corpus.lease_expiries} lease expiries")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,15 @@ fi
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
 
+# Chaos smoke: one supervised corpus build under random worker SIGKILL
+# + an injected stall must converge to bit-identical vectors with no
+# leaked shm segments or heartbeat files (DESIGN.md §14). Time-bounded
+# so a scheduler hang fails the gate instead of wedging it.
+if [ "${REPRO_SKIP_CHAOS:-0}" != "1" ]; then
+    echo "== chaos smoke (supervised scheduler) =="
+    PYTHONPATH=src timeout 300 python scripts/chaos_smoke.py
+fi
+
 # Telemetry-overhead smoke: a full-observability corpus build must
 # stay within 15% of a dark build (DESIGN.md §12). Skip with
 # REPRO_SKIP_BENCH=1 when iterating on unrelated code.

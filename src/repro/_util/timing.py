@@ -27,10 +27,17 @@ class TimeoutEnforcement:
     was unavailable (non-main thread, non-Unix platform); callers
     record that in run metadata (``timeout_enforced``) so a corpus
     built without hard timeouts is distinguishable from one with them.
+
+    ``phase`` is mutable: the body under the limit updates it as it
+    moves through its phases (``materialize``, ``engine``), and the
+    timeout that finally fires names the phase it interrupted — a
+    pathological generator is then attributable at a glance instead of
+    masquerading as a slow engine run.
     """
 
     requested_s: "float | None"
     enforced: bool
+    phase: str = "run"
 
 
 class Deadline:
@@ -50,13 +57,24 @@ class Deadline:
         self._expires_at = (None if budget_s is None or budget_s <= 0
                             else time.perf_counter() + budget_s)
 
-    def check(self) -> None:
-        """Raise :class:`RunTimeoutError` once the budget is spent."""
+    def remaining(self) -> "float | None":
+        """Seconds left on the budget (may be negative), or None when
+        the deadline is disabled. Lets a caller hand the *unspent*
+        portion of one budget to a later phase instead of granting the
+        full budget twice."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - time.perf_counter()
+
+    def check(self, *, phase: "str | None" = None) -> None:
+        """Raise :class:`RunTimeoutError` once the budget is spent;
+        ``phase`` names the phase being checked in the failure detail."""
         if (self._expires_at is not None
                 and time.perf_counter() > self._expires_at):
+            where = f" (phase: {phase})" if phase else ""
             raise RunTimeoutError(
                 f"run exceeded its {self.budget_s:g}s wall-clock limit "
-                f"(cooperative per-iteration check)",
+                f"(cooperative per-iteration check){where}",
                 timeout_s=self.budget_s,
             )
 
@@ -97,16 +115,19 @@ def wall_clock_limit(seconds: "float | None") -> Iterator[TimeoutEnforcement]:
         yield TimeoutEnforcement(requested_s=seconds, enforced=False)
         return
 
+    enforcement = TimeoutEnforcement(requested_s=seconds, enforced=True)
+
     def _on_alarm(signum, frame):  # pragma: no cover - signal context
         raise RunTimeoutError(
-            f"run exceeded its {seconds:g}s wall-clock limit",
+            f"run exceeded its {seconds:g}s wall-clock limit "
+            f"(phase: {enforcement.phase})",
             timeout_s=seconds,
         )
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield TimeoutEnforcement(requested_s=seconds, enforced=True)
+        yield enforcement
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro._util.errors import ValidationError
-from repro._util.timing import wall_clock_limit
+from repro._util.timing import Deadline, wall_clock_limit
 from repro.algorithms.registry import create, info
 from repro.behavior.trace import RunTrace
 from repro.engine.engine import EngineOptions, SynchronousEngine
@@ -155,6 +155,16 @@ def run_computation(
     merged_options = dict(options or {})
     tel = get_telemetry()
     with wall_clock_limit(timeout_s) as enforcement:
+        # The budget clock starts *here*, before graph resolution:
+        # without SIGALRM the cooperative fallback deadline must also
+        # cover materialization, or a pathological generator stalls the
+        # worker with no timeout at all. The fallback hands only the
+        # budget left after materialize to the engine's per-iteration
+        # checks, so the two phases share one limit instead of each
+        # getting the full grant.
+        fallback = (Deadline(timeout_s)
+                    if timeout_s and not enforcement.enforced else None)
+        enforcement.phase = "materialize"
         if isinstance(spec_or_problem, ProblemInstance):
             problem = spec_or_problem
             run_key = algorithm
@@ -178,6 +188,9 @@ def run_computation(
                 f"expected GraphSpec or ProblemInstance, got "
                 f"{type(spec_or_problem).__name__}"
             )
+        if fallback is not None:
+            fallback.check(phase="materialize")
+        enforcement.phase = "engine"
         if problem.domain != record.domain:
             raise ValidationError(
                 f"algorithm {algorithm!r} consumes domain {record.domain!r} "
@@ -186,11 +199,14 @@ def run_computation(
         fault = _engine_fault_for(run_key)
         if fault is not None and "inject_fault" not in merged_options:
             merged_options["inject_fault"] = fault
-        if (timeout_s and not enforcement.enforced
+        if (fallback is not None
                 and "wall_clock_budget_s" not in merged_options):
             # SIGALRM cannot bite here; fall back to the engine's
-            # cooperative per-iteration deadline.
-            merged_options["wall_clock_budget_s"] = timeout_s
+            # cooperative per-iteration deadline, granting it only the
+            # budget materialize left unspent.
+            remaining = fallback.remaining()
+            if remaining is not None:
+                merged_options["wall_clock_budget_s"] = max(remaining, 1e-6)
         program = create(algorithm, **(params or {}))
         engine = SynchronousEngine(
             build_engine_options(algorithm, merged_options))

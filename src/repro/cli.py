@@ -144,6 +144,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-process graph cache capacity (default: "
                           "$REPRO_GRAPH_CACHE_BYTES or 256 MiB; 0 "
                           "disables)")
+    cor.add_argument("--lease-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="scheduler lease deadline; a worker whose "
+                          "heartbeat goes silent this long has its task "
+                          "revoked and re-dispatched (default: 60)")
+    cor.add_argument("--heartbeat-every", type=float, default=None,
+                     metavar="SECONDS",
+                     help="worker heartbeat interval (default: 1)")
+    cor.add_argument("--max-lease-expiries", type=int, default=None,
+                     metavar="K",
+                     help="quarantine a cell as poison after K lease "
+                          "expiries (default: 3)")
+    cor.add_argument("--speculative", action="store_true",
+                     help="when workers idle, launch one shadow copy of "
+                          "each straggling run; first completion wins")
+    cor.add_argument("--gc-quarantine", type=int, default=None,
+                     metavar="KEEP",
+                     help="after the build, sweep result/snapshot "
+                          "quarantine dirs down to the newest KEEP "
+                          "entries (oldest removed first)")
     _add_obs_arguments(cor)
 
     des = sub.add_parser("design", help="search for the best ensemble")
@@ -433,6 +453,11 @@ def _cmd_corpus(args) -> int:
                               stop_requested=governor.stop_requested,
                               use_shm=not args.no_shm,
                               graph_cache_bytes=args.graph_cache_bytes,
+                              lease_timeout_s=args.lease_timeout,
+                              heartbeat_every_s=args.heartbeat_every,
+                              max_lease_expiries=args.max_lease_expiries,
+                              speculative=args.speculative,
+                              gc_quarantine=args.gc_quarantine,
                               obs=args.obs, obs_dir=args.obs_dir)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")

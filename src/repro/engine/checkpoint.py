@@ -85,6 +85,9 @@ _DIGEST_SIZE = 16
 _KEY_DIGEST_LEN = 10
 #: Subdirectory (under the store root) receiving corrupt snapshots.
 QUARANTINE_DIRNAME = "quarantine"
+#: Default quarantine retention (see ResultStore.gc_quarantine): every
+#: quarantine call sweeps the oldest entries beyond this bound.
+QUARANTINE_MAX_ENTRIES = 256
 
 
 class SimulatedKillError(RuntimeError):
@@ -297,7 +300,31 @@ class SnapshotStore:
         if tel.enabled:
             tel.inc("checkpoint_quarantined_total")
             tel.emit("checkpoint", action="quarantine", file=str(path.name))
+        # Bounded retention: sweep the oldest entries past the cap so
+        # resumed builds cannot grow the quarantine without limit.
+        self.gc_quarantine(QUARANTINE_MAX_ENTRIES)
         return dest
+
+    def gc_quarantine(self, keep: int = QUARANTINE_MAX_ENTRIES) -> int:
+        """Oldest-first sweep keeping the ``keep`` newest quarantined
+        snapshots; returns how many were removed."""
+        if keep < 0 or not self.quarantine_dir.exists():
+            return 0
+        entries = []
+        for path in self.quarantine_dir.glob("*.snap*"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except FileNotFoundError:
+                continue
+        entries.sort()
+        removed = 0
+        for _mtime, _name, path in entries[:max(0, len(entries) - keep)]:
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+        return removed
 
     def _load_one(self, path: Path) -> "Snapshot | None":
         """Read one generation; quarantine and report None if corrupt."""
@@ -546,3 +573,8 @@ def _consume_kill_token(token_dir: Path) -> bool:
             continue
         return True
     return False
+
+
+#: Public alias: the same atomic token-claim primitive bounds the
+#: scheduler's stall-injection hook (repro.experiments.worksite).
+claim_token = _consume_kill_token

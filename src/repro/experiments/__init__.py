@@ -17,6 +17,8 @@ from repro.experiments.results import ResultStore
 
 _LAZY = {"BehaviorCorpus", "build_corpus", "CorpusRun", "execute_planned_run"}
 _LAZY_CHARACTERIZATION = {"CorpusCharacterization", "characterize_corpus"}
+_LAZY_SCHEDULER = {"CircuitBreaker", "SchedulerConfig", "Supervisor",
+                   "Task", "TaskBoard"}
 
 
 def __getattr__(name: str):
@@ -31,10 +33,15 @@ def __getattr__(name: str):
         from repro.experiments import characterization
 
         return getattr(characterization, name)
+    if name in _LAZY_SCHEDULER:
+        from repro.experiments import scheduler
+
+        return getattr(scheduler, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BehaviorCorpus",
+    "CircuitBreaker",
     "ExperimentMatrix",
     "FAILURE_KINDS",
     "GraphSpec",
@@ -43,6 +50,10 @@ __all__ = [
     "RETRYABLE_KINDS",
     "ResultStore",
     "RunFailure",
+    "SchedulerConfig",
+    "Supervisor",
+    "Task",
+    "TaskBoard",
     "build_corpus",
     "get_profile",
 ]

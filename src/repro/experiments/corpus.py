@@ -11,7 +11,6 @@ largest-size runs failing on the engine memory budget.
 from __future__ import annotations
 
 import os
-import signal
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -35,13 +34,12 @@ from repro.experiments.config import (
     Profile,
     get_profile,
 )
-from repro.experiments.failures import RunFailure
+from repro.experiments.failures import RunFailure, full_jitter_backoff
 from repro.experiments.graph_cache import (
     configure_default_cache,
     materialize_problem,
 )
 from repro.experiments.results import ResultStore
-from repro.graph import shm
 from repro.obs.events import (
     EVENTS_FILENAME,
     merge_sinks,
@@ -111,6 +109,17 @@ class BehaviorCorpus:
     #: event log plus the exported ``telemetry.json``/``metrics.prom``.
     run_id: "str | None" = None
     obs_dir: "str | None" = None
+    #: Supervised-scheduler accounting (multi-worker builds): leases
+    #: lost to dead/hung workers, workers replaced, speculative shadow
+    #: dispatches, and whether the circuit breaker degraded the build
+    #: to inline single-process execution.
+    lease_expiries: int = 0
+    workers_replaced: int = 0
+    speculative_runs: int = 0
+    degraded_to_inline: bool = False
+    #: Quarantine files removed by the post-build retention sweep,
+    #: keyed by store ("results", "snapshots").
+    quarantine_swept: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def n_runs(self) -> int:
@@ -201,6 +210,18 @@ class BehaviorCorpus:
         if self.graph_plane:
             lines.append(f"  graph plane: {self.premat_graphs} graphs "
                          f"pre-materialized in {self.premat_seconds:.2f}s")
+        if (self.lease_expiries or self.workers_replaced
+                or self.speculative_runs or self.degraded_to_inline):
+            mode = (" -> degraded to inline execution"
+                    if self.degraded_to_inline else "")
+            lines.append(f"  scheduler: {self.lease_expiries} lease "
+                         f"expiries, {self.workers_replaced} workers "
+                         f"replaced, {self.speculative_runs} speculative "
+                         f"dispatches{mode}")
+        if self.quarantine_swept:
+            swept = ", ".join(f"{name} {count}" for name, count
+                              in sorted(self.quarantine_swept.items()))
+            lines.append(f"  quarantine sweep: removed {swept}")
         timing = self.timing_decomposition()
         if timing is not None:
             lines.append(
@@ -342,7 +363,6 @@ def execute_planned_run(
     attempts = 0
     stalled_attempts = 0
     last_progress = snapshot_progress()
-    backoff = profile.retry_backoff_s
     while True:
         attempts += 1
         if tel.enabled:
@@ -368,12 +388,17 @@ def execute_planned_run(
             else:
                 stalled_attempts += 1
             if failure.retryable and stalled_attempts <= retries:
+                # Full jitter decorrelates simultaneously failing
+                # workers (deterministic doubling retried them in
+                # lockstep); seeding from the cache key keeps one
+                # cell's schedule reproducible.
+                backoff = full_jitter_backoff(
+                    profile.retry_backoff_s, attempts, key=key)
                 if tel.enabled:
                     tel.inc("corpus_retries_total")
                     tel.emit("retry", failure_kind=failure.kind,
                              backoff_s=backoff)
                 time.sleep(backoff)
-                backoff *= 2
                 continue
             if store is not None:
                 store.save_failure(key, failure)
@@ -462,31 +487,6 @@ def _configure_worker_obs(obs_level: "str | None",
               events_path=worker_sink_path(obs_dir, os.getpid()))
 
 
-def _worker_execute(payload: tuple) -> "CorpusRun":
-    """Module-level worker for process pools (must be picklable)."""
-    (planned, profile, store_root, timeout_s, retries, resume,
-     health_policy, health_check_every, checkpoint_dir,
-     checkpoint_every, manifest, graph_cache_bytes,
-     obs_level, obs_dir, run_id) = payload
-    _configure_worker_obs(obs_level, obs_dir, run_id)
-    configure_default_cache(graph_cache_bytes)
-    if manifest is not None:
-        shm.install_manifest(manifest)
-    store = ResultStore(store_root) if store_root is not None else None
-    result = _isolated_execute(planned, profile, store, timeout_s, retries,
-                               resume, health_policy, health_check_every,
-                               checkpoint_dir, checkpoint_every)
-    tel = get_telemetry()
-    if tel.enabled:
-        # The cell's metric delta rides back on the result (a few KB)
-        # and the worker registry restarts at zero — serialising a
-        # cumulative snapshot per cell would grow O(cells²). A killed
-        # worker loses only its in-flight cell's metrics: every
-        # completed cell was already delivered through its future.
-        result.obs_snapshot = tel.drain()
-    return result
-
-
 def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
     """Pre-materialization worker: generate one distinct graph.
 
@@ -497,14 +497,6 @@ def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
     """
     problem, _source = materialize_problem(spec)
     return spec.cache_key(), problem
-
-
-def _pool_worker_init() -> None:
-    """Process-pool initializer: workers ignore SIGINT so a terminal
-    Ctrl-C (delivered to the whole process group) cannot kill them
-    mid-write — the parent decides when to stop dispatching, and
-    in-flight cells finish and flush their checkpoints."""
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def progress_event(run: CorpusRun, done: int, total: int) -> dict:
@@ -633,6 +625,11 @@ def build_corpus(
     graph_cache_bytes: "int | None" = None,
     obs: "str | None" = None,
     obs_dir: "str | Path | None" = None,
+    lease_timeout_s: "float | None" = None,
+    heartbeat_every_s: "float | None" = None,
+    max_lease_expiries: "int | None" = None,
+    speculative: bool = False,
+    gc_quarantine: "int | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -692,6 +689,27 @@ def build_corpus(
         Directory for the event log and exported ``telemetry.json`` /
         ``metrics.prom`` (default: ``$REPRO_OBS_DIR``, else ``obs/``
         under the result store, else ``./.repro_obs``).
+    lease_timeout_s:
+        Multi-worker builds only: how long a dispatched cell may go
+        without a heartbeat before its lease expires and the cell is
+        revoked from the (dead or hung) worker and re-dispatched
+        (default 60s).
+    heartbeat_every_s:
+        Worker heartbeat interval (default 1s); must be comfortably
+        below ``lease_timeout_s``.
+    max_lease_expiries:
+        Poison budget: after this many lost leases a cell is
+        quarantined as ``quarantined-poison`` instead of being handed
+        to yet another worker (default 3).
+    speculative:
+        Enable bounded speculative re-execution of stragglers: once
+        nothing else is dispatchable, idle workers shadow the oldest
+        in-flight cells and the first completion wins.
+    gc_quarantine:
+        When set, sweep the result-store (and, if checkpointing is
+        configured, snapshot-store) quarantine directories after the
+        build, keeping only this many newest entries; counts land in
+        ``quarantine_swept`` and the summary.
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -727,130 +745,76 @@ def build_corpus(
     def stopped() -> bool:
         return stop_requested is not None and stop_requested()
 
-    executor = None
-    plane = None
-    manifests: "dict[str, shm.ShmManifest]" = {}
-    if workers <= 1:
-        def _inline():
+    try:
+        total = len(plan)
+        if workers <= 1:
+            done = 0
             for planned in plan:
                 if stopped():
-                    return
-                yield _isolated_execute(planned, profile, store, timeout_s,
+                    break
+                run = _isolated_execute(planned, profile, store, timeout_s,
                                         retries, resume, health_policy,
                                         health_check_every, checkpoint_dir,
                                         checkpoint_every)
+                if run.ok:
+                    corpus.runs.append(run)
+                else:
+                    corpus.failures.append(run)
+                done += 1
+                event = progress_event(run, done, total)
+                tel.emit("progress", **event)
+                if progress is not None:
+                    progress(format_progress(event))
+        else:
+            # Multi-worker builds run under the supervised scheduler:
+            # an explicit materialize -> run -> store DAG with leased
+            # tasks, heartbeat-renewed deadlines, poison-cell
+            # quarantine, and a circuit breaker degrading to inline
+            # execution when the worker crew is unhealthy.
+            from repro.experiments.scheduler import (
+                SchedulerConfig,
+                Supervisor,
+            )
+            from repro.experiments.worksite import WorkerContext
 
-        results = _inline()
-    else:
-        import concurrent.futures
-
-        store_root = store.root if store is not None else None
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, initializer=_pool_worker_init)
-
-        if use_shm and shm.shm_available():
-            # Pre-materialization: build each distinct graph once (in
-            # parallel, in the pool) and publish it before dispatching
-            # cells, so no two workers ever generate the same spec.
-            premat_started = time.perf_counter()
-            needed = _specs_needing_materialization(plan, profile, store,
-                                                    resume)
-            premat_futures = {
-                executor.submit(_materialize_worker, spec): spec_key
-                for spec_key, spec in needed.items()
+            overrides: "dict[str, Any]" = {
+                "speculative": speculative,
+                "backoff_base_s": profile.retry_backoff_s,
             }
-            if needed:
-                plane = shm.GraphPlane()
-            for future in concurrent.futures.as_completed(premat_futures):
-                if stopped() or plane is None:
-                    break
-                try:
-                    spec_key, problem = future.result()
-                except Exception:
-                    # A failing generator is that cell's problem: the
-                    # cell re-runs it and records the failure.
-                    continue
-                if not shm.publishable(problem):
-                    continue
-                try:
-                    manifests[spec_key] = plane.publish(spec_key, problem)
-                except Exception:
-                    # Plane-level fault (shm exhausted, ...): fall back
-                    # to per-process materialization for everything.
-                    plane.close()
-                    plane = None
-                    manifests = {}
-            corpus.graph_plane = plane is not None
-            corpus.premat_graphs = len(manifests)
-            corpus.premat_seconds = time.perf_counter() - premat_started
-            tel.emit("premat", graphs=len(manifests),
-                     seconds=corpus.premat_seconds,
-                     plane=plane is not None)
-
-        obs_dir_str = str(obs_path) if obs_path is not None else None
-        futures = [
-            executor.submit(_worker_execute,
-                            (planned, profile, store_root, timeout_s,
-                             retries, resume, health_policy,
-                             health_check_every, checkpoint_dir,
-                             checkpoint_every,
-                             manifests.get(planned.spec.cache_key()),
-                             graph_cache_bytes,
-                             obs_level, obs_dir_str, run_id))
-            for planned in plan
-        ]
-
-        def _collect():
-            for planned, future in zip(plan, futures):
-                if stopped():
-                    # Stop dispatching: cancel everything not yet
-                    # started; cells already running finish in their
-                    # workers (and their results land in the store for
-                    # the next build) but are no longer collected.
-                    for pending in futures:
-                        pending.cancel()
-                    return
-                try:
-                    yield future.result()
-                except concurrent.futures.CancelledError:
-                    return
-                except Exception as exc:  # pool-level fault (e.g.
-                    # BrokenProcessPool, unpicklable result): record it
-                    # against the cell instead of aborting the build.
-                    yield CorpusRun(planned.algorithm, planned.spec,
-                                    None, None,
-                                    failure=RunFailure.from_exception(exc))
-
-        results = _collect()
-
-    try:
-        total = len(plan)
-        for done, run in enumerate(results, start=1):
-            if run.obs_snapshot is not None:
-                # Fold the pool worker's per-cell metric delta into
-                # the parent registry as results stream in.
-                tel.merge_snapshot(run.obs_snapshot)
-                run.obs_snapshot = None
-            if run.ok:
-                corpus.runs.append(run)
-            else:
-                corpus.failures.append(run)
-            event = progress_event(run, done, total)
-            tel.emit("progress", **event)
-            if progress is not None:
-                progress(format_progress(event))
+            if lease_timeout_s is not None:
+                overrides["lease_timeout_s"] = lease_timeout_s
+            if heartbeat_every_s is not None:
+                overrides["heartbeat_every_s"] = heartbeat_every_s
+            if max_lease_expiries is not None:
+                overrides["max_lease_expiries"] = max_lease_expiries
+            ctx = WorkerContext(
+                store_root=str(store.root) if store is not None else None,
+                profile=profile, timeout_s=timeout_s, retries=retries,
+                resume=resume, health_policy=health_policy,
+                health_check_every=health_check_every,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                graph_cache_bytes=graph_cache_bytes,
+                obs_level=obs_level,
+                obs_dir=str(obs_path) if obs_path is not None else None,
+                run_id=run_id)
+            Supervisor(plan=plan, profile=profile, store=store,
+                       corpus=corpus, workers=workers, ctx=ctx,
+                       config=SchedulerConfig(**overrides),
+                       use_shm=use_shm, resume=resume,
+                       progress=progress,
+                       stop_requested=stop_requested).run()
     finally:
-        if executor is not None:
-            # cancel_futures: an in-flight exception (or ^C) must not
-            # wait out the whole queued plan before surfacing.
-            executor.shutdown(cancel_futures=True)
-        if plane is not None:
-            # After the pool is down no process can still be attached;
-            # unlink every published segment (also runs on the SIGINT
-            # and exception paths — nothing may leak into /dev/shm).
-            plane.close()
-        corpus.interrupted = stopped()
+        corpus.interrupted = corpus.interrupted or stopped()
         corpus.build_seconds = time.perf_counter() - started
+        if gc_quarantine is not None:
+            swept: "dict[str, int]" = {}
+            if store is not None:
+                swept["results"] = store.gc_quarantine(gc_quarantine)
+            if checkpoint_every is not None or checkpoint_dir is not None:
+                swept["snapshots"] = SnapshotStore(
+                    checkpoint_dir).gc_quarantine(gc_quarantine)
+            corpus.quarantine_swept = swept
         if obs_level != "off" and obs_path is not None:
             # Fold worker sinks into the parent registry + main log,
             # then drop the exporters next to the event log — also on

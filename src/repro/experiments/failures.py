@@ -39,10 +39,24 @@ corpora. Every failed cell is therefore recorded as a
     (:class:`~repro._util.errors.CacheCorruptError`). Ordinary
     corruption never produces this: the store quarantines the bad file
     and the runner silently re-executes the cell.
+``lease-expired``
+    A scheduler lease on the cell expired: the worker holding it was
+    killed, hung, or stopped heartbeating
+    (:mod:`repro.experiments.scheduler`). An *infra* fault, not a cell
+    fault — retryable, and the re-dispatched attempt resumes from the
+    cell's last checkpoint.
+``quarantined-poison``
+    The cell burned through its lease-expiry budget (K expiries across
+    distinct workers), so the supervisor quarantined it instead of
+    retrying forever — the signature of a poison cell that kills or
+    hangs whatever worker touches it. Never retried, always
+    *unexpected* (nonzero CLI exit).
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 import traceback as _traceback
 from dataclasses import dataclass
 
@@ -59,19 +73,46 @@ from repro._util.errors import (
 #: Every legal failure kind, in severity order.
 FAILURE_KINDS: tuple[str, ...] = (
     "memory", "timeout", "numeric", "nonconvergence", "crash",
-    "cache-corrupt",
+    "cache-corrupt", "lease-expired", "quarantined-poison",
 )
 
 #: Kinds worth retrying (possibly transient). ``memory`` is excluded:
 #: the budget check is deterministic, so re-running cannot succeed.
 #: ``numeric`` and ``nonconvergence`` are excluded for the same reason —
 #: the engines are deterministic, so a NaN or a stall reproduces
-#: identically on retry.
-RETRYABLE_KINDS: frozenset = frozenset({"timeout", "crash", "cache-corrupt"})
+#: identically on retry. ``quarantined-poison`` is the *decision* to
+#: stop retrying, so by construction it is not retryable.
+RETRYABLE_KINDS: frozenset = frozenset({"timeout", "crash", "cache-corrupt",
+                                        "lease-expired"})
 
 #: Kinds that are part of the reproduced experiment rather than harness
 #: faults; builds containing only these still exit 0.
 EXPECTED_KINDS: frozenset = frozenset({"memory"})
+
+
+def full_jitter_backoff(base_s: float, attempt: int, *,
+                        key: str = "", cap_s: float = 30.0) -> float:
+    """Full-jitter exponential backoff delay for retry ``attempt``.
+
+    Deterministic retry backoff makes simultaneously failing workers
+    retry in lockstep — after a shared-resource hiccup every affected
+    cell hammers the resource again at the same instant. Full jitter
+    (``U(0, min(cap, base * 2^(attempt-1)))``) decorrelates them while
+    keeping the expected delay on the exponential envelope.
+
+    The draw is seeded from ``(key, attempt)`` rather than global RNG
+    state, so one cell's retry schedule is reproducible run-to-run
+    (the corpus stays deterministic) while *different* cells — distinct
+    cache keys — land at uncorrelated offsets. ``attempt`` counts from
+    1 (the first retry waits at most ``base_s``).
+    """
+    if base_s <= 0 or attempt < 1:
+        return 0.0
+    ceiling = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    seed = int.from_bytes(
+        hashlib.blake2b(f"{key}:{attempt}".encode("utf-8"),
+                        digest_size=8).digest(), "big")
+    return random.Random(seed).uniform(0.0, ceiling)
 
 
 def classify_exception(exc: BaseException) -> str:

@@ -44,6 +44,10 @@ CACHE_ENV = "REPRO_CACHE_DIR"
 _FAILED_MARKER = "__failed__"
 #: Subdirectory (under the store root) receiving corrupt entries.
 QUARANTINE_DIRNAME = "quarantine"
+#: Default quarantine retention: every :meth:`ResultStore.quarantine`
+#: call sweeps the oldest entries beyond this bound, so resumed builds
+#: cannot grow the directory without limit.
+QUARANTINE_MAX_ENTRIES = 256
 #: Hex digits of the raw-key hash appended to every entry filename.
 _KEY_DIGEST_LEN = 10
 
@@ -128,7 +132,38 @@ class ResultStore:
             raise CacheCorruptError(
                 f"corrupt cache entry {path} could not be quarantined: {exc}"
             ) from exc
+        # Bounded retention: quarantining is rare, so sweeping inline
+        # here (one directory scan) keeps the directory capped without
+        # a separate maintenance daemon.
+        self.gc_quarantine(QUARANTINE_MAX_ENTRIES)
         return dest
+
+    def gc_quarantine(self, keep: int = QUARANTINE_MAX_ENTRIES) -> int:
+        """Oldest-first sweep of the quarantine directory.
+
+        Keeps the ``keep`` newest quarantined entries (by mtime, name
+        as tiebreaker) and unlinks the rest; returns how many were
+        removed. Quarantined files exist for post-mortem inspection,
+        not correctness — the store already treated them as misses — so
+        dropping the oldest loses nothing a resumed build needs.
+        """
+        if keep < 0 or not self.quarantine_dir.exists():
+            return 0
+        entries = []
+        for path in self.quarantine_dir.glob("*.json*"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except FileNotFoundError:
+                continue  # another process swept it first
+        entries.sort()
+        removed = 0
+        for _mtime, _name, path in entries[:max(0, len(entries) - keep)]:
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+        return removed
 
     # ------------------------------------------------------------------
     # Traces

@@ -1,0 +1,813 @@
+"""Supervised DAG scheduler for corpus builds.
+
+The flat ``ProcessPoolExecutor`` + ``as_completed`` dispatch this
+module replaces had no notion of task ownership: one
+``BrokenProcessPool`` aborted the whole build and a hung worker
+stalled it forever. Following the Pregel-style plan/execute/update
+loop (every task carries a first-class status state machine), the
+build is now an explicit DAG of **materialize → run → store** tasks
+driven by a supervisor:
+
+- **plan** — ready tasks (deps terminal, backoff elapsed) are leased
+  to idle workers; each lease carries an epoch and a deadline.
+- **execute** — workers heartbeat while executing (see
+  :mod:`repro.experiments.worksite`); each beat tagged with the lease
+  renews its deadline, so slow-but-alive cells never expire while
+  dead or hung workers do.
+- **update** — results transition tasks to ``done``/``failed``; an
+  expired lease is revoked and the task re-dispatched with full-jitter
+  backoff, resuming from its last checkpoint. After K expiries the
+  cell is quarantined as ``quarantined-poison`` instead of burning a
+  K+1th worker. Worker *infra* failures (deaths, expiries — not task
+  failures) feed a circuit breaker that degrades the whole build to
+  inline single-process execution when the crew is unhealthy.
+
+Every transition is emitted on the existing telemetry plane.
+Effectively-exactly-once store semantics come from the existing
+content-addressed :class:`~repro.experiments.results.ResultStore`
+keys: a revoked lease whose worker was *slow rather than dead* may
+complete concurrently with its replacement, but both write the same
+deterministic bytes to the same key through atomic ``os.replace``, and
+the supervisor accepts the first completion and drops the rest.
+
+The task board (:class:`TaskBoard`) is deliberately pure — no
+processes, no wall clock of its own — so property tests can drive it
+through randomized kill/stall/complete schedules and assert every task
+reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.experiments.failures import RunFailure, full_jitter_backoff
+from repro.experiments.worksite import (
+    TaskEnvelope,
+    WorkerContext,
+    WorkerCrew,
+    Worksite,
+)
+
+#: Task status state machine (the LangGraph-Pregel shape): a task is
+#: planned, owned, then terminal — and never leaves a terminal state.
+TASK_STATES: tuple[str, ...] = (
+    "pending", "leased", "done", "failed", "quarantined",
+)
+TERMINAL_STATES: frozenset = frozenset({"done", "failed", "quarantined"})
+_ALLOWED_TRANSITIONS: dict = {
+    "pending": frozenset({"leased"}),
+    "leased": frozenset({"pending", "done", "failed", "quarantined"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "quarantined": frozenset(),
+}
+
+#: The supervisor leases store tasks to itself under this worker id.
+SUPERVISOR_WORKER = -1
+
+
+class SchedulerError(RuntimeError):
+    """An illegal task transition — a scheduler bug, not a task fault."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant of a task to a worker, with a renewable deadline."""
+
+    worker: int
+    epoch: int
+    deadline: float
+    granted_at: float
+    speculative: bool = False
+
+
+@dataclass
+class Task:
+    """One node of the build DAG."""
+
+    id: str
+    kind: str  # "materialize" | "run" | "store"
+    payload: Any = None
+    deps: tuple = ()
+    status: str = "pending"
+    leases: "list[Lease]" = field(default_factory=list)
+    #: Leases lost to expiry or worker death — the poison budget.
+    lease_expiries: int = 0
+    #: Earliest re-dispatch time after a revoked lease (jitter backoff).
+    not_before: float = 0.0
+    result: Any = None
+    failure: "RunFailure | None" = None
+    speculated: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def find_lease(self, worker: int,
+                   epoch: "int | None" = None) -> "Lease | None":
+        for lease in self.leases:
+            if lease.worker == worker and (epoch is None
+                                           or lease.epoch == epoch):
+                return lease
+        return None
+
+
+class TaskBoard:
+    """Pure plan/lease/update state machine over the build DAG.
+
+    All timing is injected (``now`` parameters), so the board is
+    driveable from property tests without processes or sleeps. The
+    supervisor is the only writer; workers talk to it through results
+    and heartbeats, never through the board.
+    """
+
+    def __init__(self, *, lease_timeout_s: float = 60.0,
+                 max_lease_expiries: int = 3,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 5.0,
+                 on_transition: "Callable | None" = None) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if max_lease_expiries < 1:
+            raise ValueError("max_lease_expiries must be >= 1")
+        self.lease_timeout_s = lease_timeout_s
+        self.max_lease_expiries = max_lease_expiries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.on_transition = on_transition
+        self.tasks: "dict[str, Task]" = {}
+        self._order: "list[str]" = []
+        self._epoch = 0
+        self.total_lease_expiries = 0
+
+    # ------------------------------------------------------------------
+    # DAG construction
+    # ------------------------------------------------------------------
+    def add(self, task: Task) -> Task:
+        if task.id in self.tasks:
+            raise SchedulerError(f"duplicate task id {task.id!r}")
+        for dep in task.deps:
+            if dep not in self.tasks:
+                raise SchedulerError(
+                    f"task {task.id!r} depends on unknown {dep!r}")
+        self.tasks[task.id] = task
+        self._order.append(task.id)
+        return task
+
+    def get(self, task_id: str) -> "Task | None":
+        return self.tasks.get(task_id)
+
+    # ------------------------------------------------------------------
+    # Plan
+    # ------------------------------------------------------------------
+    def ready(self, now: float) -> "list[Task]":
+        """Dispatchable tasks, in insertion order: pending, past their
+        backoff gate, with every dependency terminal. (Dependencies are
+        ordering edges, not success edges — a failed materialize leaves
+        its cells runnable; regenerating is then the cell's own
+        problem, recorded against the cell.)"""
+        out = []
+        for task_id in self._order:
+            task = self.tasks[task_id]
+            if task.status != "pending" or task.not_before > now:
+                continue
+            if all(self.tasks[d].terminal for d in task.deps):
+                out.append(task)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lease
+    # ------------------------------------------------------------------
+    def lease(self, task_id: str, worker: int, now: float, *,
+              speculative: bool = False) -> int:
+        task = self._require(task_id)
+        if speculative:
+            if task.status != "leased":
+                raise SchedulerError(
+                    f"speculative lease on {task.status!r} task {task_id!r}")
+            task.speculated = True
+        else:
+            self._transition(task, "leased", worker=worker)
+        self._epoch += 1
+        task.leases.append(Lease(
+            worker=worker, epoch=self._epoch,
+            deadline=now + self.lease_timeout_s, granted_at=now,
+            speculative=speculative))
+        return self._epoch
+
+    def renew(self, worker: int, task_id: str, epoch: int,
+              ts: float) -> bool:
+        """Heartbeat renewal: push the matching lease's deadline out to
+        ``ts + lease_timeout``. Beats for unknown/stale leases are
+        ignored (the worker is executing something already revoked)."""
+        task = self.tasks.get(task_id)
+        if task is None or task.status != "leased":
+            return False
+        lease = task.find_lease(worker, epoch)
+        if lease is None:
+            return False
+        renewed = Lease(worker=lease.worker, epoch=lease.epoch,
+                        deadline=max(lease.deadline,
+                                     ts + self.lease_timeout_s),
+                        granted_at=lease.granted_at,
+                        speculative=lease.speculative)
+        task.leases[task.leases.index(lease)] = renewed
+        return True
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def complete(self, task_id: str, result: Any) -> bool:
+        """First completion wins: returns False (result dropped) when
+        the task already reached a terminal state — the stale result of
+        a revoked or speculative-loser lease. Completions from revoked
+        leases of a *non-terminal* task are accepted: the store write
+        they performed is byte-identical to what the replacement would
+        produce, so taking the early answer only saves work."""
+        task = self._require(task_id)
+        if task.terminal:
+            return False
+        if task.status == "pending":
+            # A revoked attempt finished after all: re-own then finish
+            # so the machine never jumps pending -> done directly.
+            self._transition(task, "leased", worker=SUPERVISOR_WORKER)
+        task.result = result
+        task.leases.clear()
+        self._transition(task, "done")
+        return True
+
+    def fail(self, task_id: str, epoch: int, failure: RunFailure) -> bool:
+        """Record a harness failure from a *live* lease. Stale failures
+        (their lease was revoked) are dropped: the replacement attempt
+        owns the cell's outcome now."""
+        task = self._require(task_id)
+        if task.terminal or task.status != "leased":
+            return False
+        if not any(lease.epoch == epoch for lease in task.leases):
+            return False
+        task.failure = failure
+        task.leases.clear()
+        self._transition(task, "failed", failure_kind=failure.kind)
+        return True
+
+    def expired_leases(self, now: float) -> "list[tuple[Task, Lease]]":
+        """Every lease past its deadline, without revoking anything —
+        the supervisor decides (it must also kill the hung worker)."""
+        out = []
+        for task_id in self._order:
+            task = self.tasks[task_id]
+            if task.status != "leased":
+                continue
+            for lease in list(task.leases):
+                if lease.deadline < now:
+                    out.append((task, lease))
+        return out
+
+    def revoke_lease(self, task: Task, lease: Lease, now: float,
+                     reason: str = "lease-expired") -> str:
+        """Take a lease away from its (dead or hung) worker.
+
+        Returns what happened to the task: ``"requeued"`` (re-dispatch
+        after jitter backoff), ``"quarantined"`` (poison budget spent),
+        or ``"survived"`` (a speculative twin still holds a live
+        lease). Already-terminal tasks return ``"stale"``.
+        """
+        if task.terminal:
+            return "stale"
+        if lease in task.leases:
+            task.leases.remove(lease)
+        task.lease_expiries += 1
+        self.total_lease_expiries += 1
+        task.failure = RunFailure(
+            kind="lease-expired",
+            message=(f"lease epoch {lease.epoch} on worker "
+                     f"{lease.worker} lost ({reason}); "
+                     f"{task.lease_expiries}/{self.max_lease_expiries} "
+                     f"expiries"),
+            attempts=task.lease_expiries)
+        if task.leases:
+            return "survived"
+        if task.lease_expiries >= self.max_lease_expiries:
+            task.failure = RunFailure(
+                kind="quarantined-poison",
+                message=(f"quarantined after {task.lease_expiries} lost "
+                         f"leases (last: {reason}) — this cell kills or "
+                         f"hangs every worker that touches it"),
+                attempts=task.lease_expiries)
+            self._transition(task, "quarantined", reason=reason)
+            return "quarantined"
+        backoff = full_jitter_backoff(
+            self.backoff_base_s, task.lease_expiries, key=task.id,
+            cap_s=self.backoff_cap_s)
+        task.not_before = now + backoff
+        self._transition(task, "pending", reason=reason,
+                         backoff_s=backoff)
+        return "requeued"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leased(self) -> "list[Task]":
+        return [self.tasks[t] for t in self._order
+                if self.tasks[t].status == "leased"]
+
+    def all_terminal(self) -> bool:
+        return all(t.terminal for t in self.tasks.values())
+
+    def counts(self) -> "dict[str, int]":
+        out = {state: 0 for state in TASK_STATES}
+        for task in self.tasks.values():
+            out[task.status] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _require(self, task_id: str) -> Task:
+        task = self.tasks.get(task_id)
+        if task is None:
+            raise SchedulerError(f"unknown task {task_id!r}")
+        return task
+
+    def _transition(self, task: Task, new: str, **info: Any) -> None:
+        old = task.status
+        if new not in _ALLOWED_TRANSITIONS[old]:
+            raise SchedulerError(
+                f"illegal transition {old} -> {new} for task {task.id!r}")
+        task.status = new
+        if self.on_transition is not None:
+            self.on_transition(task, old, new, info)
+
+
+class CircuitBreaker:
+    """Trips when worker *infra* failures dominate recent outcomes.
+
+    Infra failures are lease expiries and worker deaths; task-level
+    failures (a cell that crashes deterministically) never count —
+    they are the corpus's problem, not the crew's. The breaker looks
+    at a sliding window of outcomes and opens once there are enough
+    events to judge and the failure fraction crosses the threshold;
+    the supervisor then stops trusting workers entirely and degrades
+    to inline single-process execution.
+    """
+
+    def __init__(self, *, window: int = 16, min_events: int = 4,
+                 threshold: float = 0.5) -> None:
+        self.window = window
+        self.min_events = min_events
+        self.threshold = threshold
+        self._outcomes: deque = deque(maxlen=window)
+
+    def record(self, infra_failure: bool) -> None:
+        self._outcomes.append(bool(infra_failure))
+
+    @property
+    def failures(self) -> int:
+        return sum(self._outcomes)
+
+    @property
+    def open(self) -> bool:
+        n = sum(self._outcomes)
+        return (n >= self.min_events
+                and n / max(1, len(self._outcomes)) >= self.threshold)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Supervisor tuning, surfaced on the CLI."""
+
+    lease_timeout_s: float = 60.0
+    heartbeat_every_s: float = 1.0
+    max_lease_expiries: int = 3
+    speculative: bool = False
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    breaker_window: int = 16
+    breaker_min_events: int = 4
+    breaker_threshold: float = 0.5
+    poll_s: float = 0.05
+
+
+class Supervisor:
+    """Drives one multi-worker corpus build through the task board.
+
+    Owns the worksite (heartbeat directory), the worker crew, and —
+    when the shared-memory plane is enabled — the graph plane; fills
+    the :class:`~repro.experiments.corpus.BehaviorCorpus` in plan
+    order, so a supervised build's ``runs`` list is ordered exactly
+    like an inline build's.
+    """
+
+    def __init__(self, *, plan: list, profile: Any, store: Any,
+                 corpus: Any, workers: int, ctx: WorkerContext,
+                 config: "SchedulerConfig | None" = None,
+                 use_shm: bool = True, resume: bool = False,
+                 progress: "Callable | None" = None,
+                 stop_requested: "Callable | None" = None) -> None:
+        from repro.obs.telemetry import get_telemetry
+
+        self.plan = plan
+        self.profile = profile
+        self.store = store
+        self.corpus = corpus
+        self.workers = max(2, int(workers))
+        self.ctx = ctx
+        self.config = config or SchedulerConfig()
+        self.use_shm = use_shm
+        self.resume = resume
+        self.progress = progress
+        self._stop = stop_requested or (lambda: False)
+        self.tel = get_telemetry()
+        self.breaker = CircuitBreaker(
+            window=self.config.breaker_window,
+            min_events=self.config.breaker_min_events,
+            threshold=self.config.breaker_threshold)
+        self.board = TaskBoard(
+            lease_timeout_s=self.config.lease_timeout_s,
+            max_lease_expiries=self.config.max_lease_expiries,
+            backoff_base_s=self.config.backoff_base_s,
+            backoff_cap_s=self.config.backoff_cap_s,
+            on_transition=self._emit_transition)
+        self.plane = None
+        self.manifests: dict = {}
+        self._mat_ids: "list[str]" = []
+        self._run_ids: "list[str]" = []
+        self._store_ids: "list[str]" = []
+        self._store_ptr = 0
+        self._premat_pending = False
+        self._premat_started = 0.0
+
+    # ------------------------------------------------------------------
+    # DAG construction
+    # ------------------------------------------------------------------
+    def _build_dag(self) -> None:
+        from repro.experiments.corpus import (
+            _specs_needing_materialization,
+            run_cache_key,
+        )
+        from repro.graph import shm
+
+        mat_for_spec: "dict[str, str]" = {}
+        if self.use_shm and shm.shm_available():
+            self._premat_pending = True
+            needed = _specs_needing_materialization(
+                self.plan, self.profile, self.store, self.resume)
+            if needed:
+                self.plane = shm.GraphPlane()
+            for spec_key, spec in needed.items():
+                task_id = f"materialize:{spec_key}"
+                self.board.add(Task(task_id, "materialize", payload=spec))
+                mat_for_spec[spec_key] = task_id
+                self._mat_ids.append(task_id)
+        prev_store: "str | None" = None
+        for planned in self.plan:
+            cell_key = run_cache_key(planned, self.profile)
+            run_id = f"run:{cell_key}"
+            deps = []
+            mat_id = mat_for_spec.get(planned.spec.cache_key())
+            if mat_id is not None:
+                deps.append(mat_id)
+            self.board.add(Task(run_id, "run", payload=planned,
+                                deps=tuple(deps)))
+            # The store chain linearizes collection in plan order, so
+            # corpus.runs ordering is deterministic and identical to an
+            # inline build regardless of completion order.
+            store_id = f"store:{cell_key}"
+            store_deps = [run_id]
+            if prev_store is not None:
+                store_deps.append(prev_store)
+            self.board.add(Task(store_id, "store", payload=planned,
+                                deps=tuple(store_deps)))
+            prev_store = store_id
+            self._run_ids.append(run_id)
+            self._store_ids.append(store_id)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._premat_started = time.perf_counter()
+        self._build_dag()
+        site = Worksite(tempfile.mkdtemp(prefix="repro-worksite-"))
+        crew = WorkerCrew(self.workers, site, self.ctx,
+                          self.config.heartbeat_every_s)
+        stopping = False
+        tripped = False
+        polite = False
+        try:
+            while True:
+                now = time.time()
+                if not stopping and self._stop():
+                    stopping = True
+                for beat in site.read_heartbeats().values():
+                    if beat.task_id is not None:
+                        self.board.renew(beat.worker, beat.task_id,
+                                         beat.epoch, beat.ts)
+                for handle in crew.dead_workers():
+                    self._on_worker_death(crew, handle, now, stopping)
+                for task, lease in self.board.expired_leases(now):
+                    self._on_lease_expiry(crew, task, lease, now,
+                                          stopping)
+                if self.breaker.open and not stopping:
+                    tripped = True
+                    break
+                if not stopping:
+                    self._dispatch_ready(crew, now)
+                    if self.config.speculative:
+                        self._maybe_speculate(crew, now)
+                self._check_premat_done()
+                if not stopping:
+                    self._finalize_stores()
+                if self.board.all_terminal():
+                    polite = True
+                    break
+                if stopping and not self._worker_leases_live():
+                    polite = True
+                    break
+                envelope = crew.poll_result(self.config.poll_s)
+                while envelope is not None:
+                    self._on_result(crew, envelope)
+                    envelope = crew.poll_result(0.0)
+        finally:
+            busy = any(not h.idle for h in crew.workers.values())
+            crew.shutdown(kill=not polite or busy)
+            site.cleanup()
+            self.corpus.workers_replaced = crew.replaced
+            self.corpus.lease_expiries = self.board.total_lease_expiries
+            if stopping:
+                self.corpus.interrupted = True
+            if tripped:
+                self._run_inline_fallback()
+            if self.plane is not None:
+                # After the crew is down no process can still be
+                # attached; unlink every published segment (also on
+                # the SIGINT and exception paths).
+                self.plane.close()
+                self.plane = None
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_worker_death(self, crew: WorkerCrew, handle, now: float,
+                         stopping: bool) -> None:
+        task = (self.board.get(handle.task_id)
+                if handle.task_id is not None else None)
+        lease = (task.find_lease(handle.worker) if task is not None
+                 else None)
+        self.breaker.record(True)
+        if self.tel.enabled:
+            self.tel.inc("scheduler_worker_deaths_total")
+            self.tel.emit("scheduler", action="worker-died",
+                          worker=handle.worker,
+                          task=handle.task_id)
+        if task is not None and lease is not None and not task.terminal:
+            self.board.revoke_lease(task, lease, now,
+                                    reason="worker-died")
+        if not stopping and not self.breaker.open:
+            crew.replace(handle)
+        else:
+            crew.remove(handle)
+
+    def _on_lease_expiry(self, crew: WorkerCrew, task: Task,
+                         lease: Lease, now: float,
+                         stopping: bool) -> None:
+        outcome = self.board.revoke_lease(task, lease, now,
+                                          reason="lease-expired")
+        if outcome == "stale":
+            return
+        self.breaker.record(True)
+        if self.tel.enabled:
+            self.tel.inc("scheduler_lease_expiries_total")
+            self.tel.emit("scheduler", action="lease-expired",
+                          task=task.id, worker=lease.worker,
+                          epoch=lease.epoch, outcome=outcome,
+                          failure_kind="lease-expired",
+                          expiries=task.lease_expiries)
+        # The worker holding the lease is hung (a dead one was already
+        # reaped by _on_worker_death): kill it, replace it.
+        handle = crew.workers.get(lease.worker)
+        if handle is not None:
+            crew.kill(handle)
+            if not stopping and not self.breaker.open:
+                crew.spawn()
+                crew.replaced += 1
+
+    def _on_result(self, crew: WorkerCrew, envelope) -> None:
+        crew.mark_idle(envelope.worker)
+        self.breaker.record(False)
+        task = self.board.get(envelope.task_id)
+        if task is None:
+            return
+        if not envelope.ok:
+            self.board.fail(task.id, envelope.epoch, envelope.error)
+            return
+        if task.kind == "materialize":
+            self._publish_materialized(envelope.value)
+            self.board.complete(task.id, None)
+            return
+        accepted = self.board.complete(task.id, envelope.value)
+        if not accepted and self.tel.enabled:
+            self.tel.emit("scheduler", action="stale-result",
+                          task=task.id, worker=envelope.worker)
+
+    def _publish_materialized(self, value) -> None:
+        from repro.graph import shm
+
+        if self.plane is None or value is None:
+            return
+        spec_key, problem = value
+        if not shm.publishable(problem):
+            return
+        try:
+            self.manifests[spec_key] = self.plane.publish(spec_key,
+                                                          problem)
+        except Exception:
+            # Plane-level fault (shm exhausted, ...): fall back to
+            # per-process materialization for everything.
+            self.plane.close()
+            self.plane = None
+            self.manifests = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch / speculation
+    # ------------------------------------------------------------------
+    def _dispatch_ready(self, crew: WorkerCrew, now: float) -> None:
+        idle = crew.idle_workers()
+        if not idle:
+            return
+        for task in self.board.ready(now):
+            if not idle:
+                break
+            if task.kind == "store":
+                continue  # supervisor-executed, never leased out
+            handle = idle.pop()
+            epoch = self.board.lease(task.id, handle.worker, now)
+            crew.dispatch(handle, TaskEnvelope(
+                task.id, epoch, task.kind, self._payload_for(task)))
+
+    def _maybe_speculate(self, crew: WorkerCrew, now: float) -> None:
+        """Bounded speculative re-execution of stragglers: only when
+        nothing else is dispatchable (i.e. near build end), one shadow
+        per task, first completion wins."""
+        idle = crew.idle_workers()
+        if not idle:
+            return
+        if any(t.kind != "store" for t in self.board.ready(now)):
+            return
+        candidates = [
+            t for t in self.board.leased()
+            if t.kind == "run" and not t.speculated
+            and len(t.leases) == 1
+            and now - t.leases[0].granted_at
+            > max(self.config.heartbeat_every_s, self.config.poll_s)
+        ]
+        candidates.sort(key=lambda t: t.leases[0].granted_at)
+        for handle, task in zip(idle, candidates):
+            epoch = self.board.lease(task.id, handle.worker, now,
+                                     speculative=True)
+            crew.dispatch(handle, TaskEnvelope(
+                task.id, epoch, task.kind, self._payload_for(task)))
+            self.corpus.speculative_runs += 1
+            if self.tel.enabled:
+                self.tel.inc("scheduler_speculative_total")
+                self.tel.emit("scheduler", action="speculate",
+                              task=task.id, worker=handle.worker)
+
+    def _payload_for(self, task: Task):
+        if task.kind == "materialize":
+            return (task.payload, None)
+        manifest = self.manifests.get(task.payload.spec.cache_key())
+        return (task.payload, manifest)
+
+    # ------------------------------------------------------------------
+    # Collection (store tasks, plan order)
+    # ------------------------------------------------------------------
+    def _finalize_stores(self) -> None:
+        from repro.experiments.corpus import (
+            format_progress,
+            progress_event,
+        )
+
+        total = len(self.plan)
+        while self._store_ptr < total:
+            run_task = self.board.get(self._run_ids[self._store_ptr])
+            if not run_task.terminal:
+                break
+            store_task = self.board.get(self._store_ids[self._store_ptr])
+            run = self._corpus_run_for(run_task)
+            if run.obs_snapshot is not None:
+                self.tel.merge_snapshot(run.obs_snapshot)
+                run.obs_snapshot = None
+            if run.ok:
+                self.corpus.runs.append(run)
+            else:
+                self.corpus.failures.append(run)
+            now = time.time()
+            self.board.lease(store_task.id, SUPERVISOR_WORKER, now)
+            self.board.complete(store_task.id, None)
+            self._store_ptr += 1
+            event = progress_event(run, self._store_ptr, total)
+            self.tel.emit("progress", **event)
+            if self.progress is not None:
+                self.progress(format_progress(event))
+
+    def _corpus_run_for(self, run_task: Task):
+        from repro.experiments.corpus import CorpusRun, run_cache_key
+
+        planned = run_task.payload
+        if run_task.status == "done":
+            return run_task.result
+        failure = run_task.failure or RunFailure(
+            kind="crash", message="task lost without a recorded failure")
+        if run_task.status == "quarantined" and self.store is not None:
+            # Persist the poison verdict so resumed builds replay it
+            # (quarantined-poison is not retryable) instead of feeding
+            # the cell to a fresh crew.
+            self.store.save_failure(
+                run_cache_key(planned, self.profile), failure)
+        return CorpusRun(planned.algorithm, planned.spec, None, None,
+                         failure=failure)
+
+    # ------------------------------------------------------------------
+    # Premat bookkeeping
+    # ------------------------------------------------------------------
+    def _check_premat_done(self) -> None:
+        if not self._premat_pending:
+            return
+        if not all(self.board.get(t).terminal for t in self._mat_ids):
+            return
+        self._premat_pending = False
+        self.corpus.graph_plane = self.plane is not None
+        self.corpus.premat_graphs = len(self.manifests)
+        self.corpus.premat_seconds = (time.perf_counter()
+                                      - self._premat_started)
+        self.tel.emit("premat", graphs=len(self.manifests),
+                      seconds=self.corpus.premat_seconds,
+                      plane=self.plane is not None)
+
+    def _worker_leases_live(self) -> bool:
+        """Any lease still held by an actual worker (store-task
+        self-leases never block the stopping drain)."""
+        return any(
+            any(lease.worker != SUPERVISOR_WORKER for lease in t.leases)
+            for t in self.board.leased())
+
+    # ------------------------------------------------------------------
+    # Circuit-breaker fallback
+    # ------------------------------------------------------------------
+    def _run_inline_fallback(self) -> None:
+        """The crew is unhealthy: finish the remaining cells inline, in
+        this process, where no lease can expire. Quarantined cells stay
+        quarantined — the breaker protects the build, not poison."""
+        from repro.experiments.corpus import _isolated_execute
+
+        self.corpus.degraded_to_inline = True
+        if self.tel.enabled:
+            self.tel.inc("scheduler_circuit_trips_total")
+            self.tel.emit("scheduler", action="circuit-open",
+                          failures=self.breaker.failures,
+                          window=len(self.breaker._outcomes))
+        now = time.time()
+        for task_id in self._mat_ids:
+            task = self.board.get(task_id)
+            if task.terminal:
+                continue
+            for lease in list(task.leases):
+                self.board.revoke_lease(task, lease, now,
+                                        reason="circuit-open")
+            if not task.terminal:
+                self.board.lease(task.id, SUPERVISOR_WORKER, now)
+                self.board.complete(task.id, None)
+        for idx, planned in enumerate(self.plan):
+            task = self.board.get(self._run_ids[idx])
+            if task.terminal:
+                continue
+            if self._stop():
+                self.corpus.interrupted = True
+                break
+            now = time.time()
+            for lease in list(task.leases):
+                self.board.revoke_lease(task, lease, now,
+                                        reason="circuit-open")
+            if task.terminal:  # revocation spent the poison budget
+                continue
+            if task.status == "pending":
+                self.board.lease(task.id, SUPERVISOR_WORKER, now)
+            run = _isolated_execute(
+                planned, self.profile, self.store, self.ctx.timeout_s,
+                self.ctx.retries, self.ctx.resume, self.ctx.health_policy,
+                self.ctx.health_check_every, self.ctx.checkpoint_dir,
+                self.ctx.checkpoint_every)
+            self.board.complete(task.id, run)
+        self._finalize_stores()
+
+    # ------------------------------------------------------------------
+    def _emit_transition(self, task: Task, old: str, new: str,
+                         info: dict) -> None:
+        if not self.tel.enabled:
+            return
+        self.tel.inc("scheduler_transitions_total", to=new)
+        self.tel.emit("task", task=task.id, task_kind=task.kind,
+                      **{"from": old, "to": new}, **info)

@@ -1,0 +1,469 @@
+"""The worksite: worker processes, heartbeats, and the supervisor's
+view of both.
+
+The supervised scheduler (:mod:`repro.experiments.scheduler`) splits
+cleanly into pure decision logic (the task board) and the messy
+process-management substrate this module owns:
+
+- **WorkerCrew** — long-lived ``multiprocessing.Process`` workers, one
+  dispatch queue each plus one shared result queue. Unlike
+  :class:`~concurrent.futures.ProcessPoolExecutor`, a SIGKILLed worker
+  does not poison the pool: the supervisor detects the death, replaces
+  the worker, and re-dispatches its task.
+- **Heartbeats** — each worker runs a daemon thread writing a one-line
+  JSON beat file (``hb-<worker>.json``, atomic tmp + ``os.replace``)
+  every ``heartbeat_every`` seconds, tagged with the task and lease
+  epoch it is executing. The supervisor reads the beats to renew
+  leases, so a *busy* worker on a legitimately slow cell never expires
+  while a *dead or hung* one does.
+- **Stall injection** — ``REPRO_INJECT_STALL`` simulates the hung-
+  worker failure mode SIGKILL cannot: the worker stays alive but stops
+  making progress *and stops heartbeating*, which is exactly what the
+  lease-expiry path must detect.
+
+Workers ignore SIGINT (the supervisor decides when to stop
+dispatching) and execute tasks through the same crash-isolation
+boundary as the old pool (`_isolated_execute`), so a task-level fault
+comes back as a recorded failure, never as a dead worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Stall injection: ``"<substring>:<seconds>"`` — a worker dispatched a
+#: task whose id contains the substring sleeps that long *with
+#: heartbeats suspended* before executing, simulating a hung worker.
+INJECT_STALL_ENV = "REPRO_INJECT_STALL"
+#: Optional token directory bounding stall injection (same atomic
+#: claim-one-file protocol as ``REPRO_CHAOS_KILL``). Unset, every
+#: matching dispatch stalls — which is how a poison cell is simulated.
+INJECT_STALL_TOKENS_ENV = "REPRO_INJECT_STALL_TOKENS"
+
+_HEARTBEAT_PREFIX = "hb-"
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Heartbeat:
+    """One worker's latest beat, as read back by the supervisor."""
+
+    worker: int
+    pid: int
+    ts: float
+    task_id: "str | None"
+    epoch: int
+
+
+class Worksite:
+    """The heartbeat directory shared by one build's supervisor and
+    workers. Beat files are tiny, per-worker, and atomically replaced,
+    so readers never see torn JSON — and the whole directory is removed
+    when the build ends (leaked beat files would be litter *and* a
+    stale-freshness trap for a later build)."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def heartbeat_path(self, worker: int) -> Path:
+        return self.root / f"{_HEARTBEAT_PREFIX}{worker}.json"
+
+    def read_heartbeats(self) -> "dict[int, Heartbeat]":
+        """Latest beat per worker; unreadable files are skipped (the
+        writer will replace them within one beat interval)."""
+        beats: dict[int, Heartbeat] = {}
+        for path in self.root.glob(f"{_HEARTBEAT_PREFIX}*.json"):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                beat = Heartbeat(
+                    worker=int(data["worker"]), pid=int(data["pid"]),
+                    ts=float(data["ts"]),
+                    task_id=data.get("task_id"),
+                    epoch=int(data.get("epoch", 0)))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            beats[beat.worker] = beat
+        return beats
+
+    def remove_heartbeat(self, worker: int) -> None:
+        self.heartbeat_path(worker).unlink(missing_ok=True)
+
+    def cleanup(self) -> None:
+        for path in self.root.glob(f"{_HEARTBEAT_PREFIX}*"):
+            path.unlink(missing_ok=True)
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass  # foreign files: leave the directory for inspection
+
+
+class HeartbeatWriter:
+    """Worker-side beat emitter (daemon thread).
+
+    ``suspend()`` models a hang for stall injection: the thread keeps
+    running but writes nothing, so the supervisor's view goes stale
+    exactly as it would for a worker stuck in an uninterruptible call.
+    """
+
+    def __init__(self, path: Path, worker: int,
+                 every_s: float = 1.0) -> None:
+        self.path = path
+        self.worker = worker
+        self.every_s = max(0.05, float(every_s))
+        self._task_id: "str | None" = None
+        self._epoch = 0
+        self._suspended = False
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> None:
+        self.beat()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name=f"heartbeat-{self.worker}")
+        self._thread.start()
+
+    def set_task(self, task_id: "str | None", epoch: int = 0) -> None:
+        """Tag subsequent beats with the task being executed, beating
+        immediately so the supervisor sees the handoff right away."""
+        with self._lock:
+            self._task_id = task_id
+            self._epoch = epoch
+        self.beat()
+
+    def suspend(self) -> None:
+        with self._lock:
+            self._suspended = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self._suspended = False
+        self.beat()
+
+    def beat(self) -> None:
+        with self._lock:
+            if self._suspended:
+                return
+            payload = {"worker": self.worker, "pid": os.getpid(),
+                       "ts": time.time(), "task_id": self._task_id,
+                       "epoch": self._epoch}
+        tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # missed beat; next one retries
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.every_s):
+            self.beat()
+
+
+# ----------------------------------------------------------------------
+# Task / result envelopes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One dispatched lease: which task, under which epoch, plus the
+    worker-side payload (a PlannedRun for ``run`` tasks, a GraphSpec
+    for ``materialize`` tasks)."""
+
+    task_id: str
+    epoch: int
+    kind: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """What a worker sends back. ``ok=False`` means the *harness*
+    failed (unpicklable result, worksite bug) — task-level faults come
+    back ``ok=True`` with the failure recorded inside the value."""
+
+    task_id: str
+    epoch: int
+    worker: int
+    ok: bool
+    value: Any = None
+    error: Any = None  # RunFailure when ok is False
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerContext:
+    """Build-wide configuration forked into every worker once, instead
+    of riding on every task payload like the old pool tuple did."""
+
+    store_root: "str | Path | None"
+    profile: Any
+    timeout_s: "float | None"
+    retries: "int | None"
+    resume: bool
+    health_policy: "str | None"
+    health_check_every: "int | None"
+    checkpoint_dir: "str | Path | None"
+    checkpoint_every: "str | None"
+    graph_cache_bytes: "int | None"
+    obs_level: "str | None"
+    obs_dir: "str | None"
+    run_id: "str | None"
+
+
+def _maybe_stall(envelope: TaskEnvelope, beats: HeartbeatWriter) -> None:
+    """Honor ``REPRO_INJECT_STALL`` for a matching task id."""
+    spec = os.environ.get(INJECT_STALL_ENV)
+    if not spec or ":" not in spec:
+        return
+    substring, _, seconds = spec.rpartition(":")
+    if not substring or substring not in envelope.task_id:
+        return
+    token_dir = os.environ.get(INJECT_STALL_TOKENS_ENV)
+    if token_dir:
+        from repro.engine.checkpoint import claim_token
+
+        if not claim_token(Path(token_dir)):
+            return
+    beats.suspend()
+    time.sleep(float(seconds))
+    beats.resume()
+
+
+def _execute_envelope(envelope: TaskEnvelope, ctx: WorkerContext) -> Any:
+    """Run one task body. Imports are lazy: the worksite stays loadable
+    without pulling the whole corpus module into importers that only
+    need the heartbeat types."""
+    from repro.experiments import corpus as corpus_mod
+    from repro.experiments.results import ResultStore
+    from repro.obs.telemetry import get_telemetry
+
+    if envelope.kind == "materialize":
+        spec, manifest = envelope.payload
+        if manifest is not None:
+            from repro.graph import shm
+
+            shm.install_manifest(manifest)
+        return corpus_mod._materialize_worker(spec)
+    if envelope.kind != "run":
+        raise ValueError(f"unknown task kind {envelope.kind!r}")
+    planned, manifest = envelope.payload
+    if manifest is not None:
+        from repro.graph import shm
+
+        shm.install_manifest(manifest)
+    store = (ResultStore(ctx.store_root)
+             if ctx.store_root is not None else None)
+    result = corpus_mod._isolated_execute(
+        planned, ctx.profile, store, ctx.timeout_s, ctx.retries,
+        ctx.resume, ctx.health_policy, ctx.health_check_every,
+        ctx.checkpoint_dir, ctx.checkpoint_every)
+    tel = get_telemetry()
+    if tel.enabled:
+        # Per-cell metric delta rides back on the result; the worker
+        # registry restarts at zero (a cumulative snapshot per cell
+        # would grow O(cells^2), see DESIGN.md S12).
+        result.obs_snapshot = tel.drain()
+    return result
+
+
+def worker_main(worker: int, task_queue, result_queue,
+                worksite_root: str, heartbeat_every: float,
+                ctx: WorkerContext) -> None:
+    """Crew worker loop: beat, take a lease, execute, send the result.
+
+    SIGINT is ignored (the supervisor owns shutdown). *Any* exception
+    escaping a task body — already rare, since ``_isolated_execute`` is
+    its own boundary — comes back as an ``ok=False`` envelope rather
+    than killing the loop.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.experiments.corpus import _configure_worker_obs
+    from repro.experiments.failures import RunFailure
+    from repro.experiments.graph_cache import configure_default_cache
+
+    _configure_worker_obs(ctx.obs_level, ctx.obs_dir, ctx.run_id)
+    configure_default_cache(ctx.graph_cache_bytes)
+    site = Worksite(worksite_root)
+    beats = HeartbeatWriter(site.heartbeat_path(worker), worker,
+                            heartbeat_every)
+    beats.start()
+    try:
+        while True:
+            envelope = task_queue.get()
+            if envelope is None:
+                break
+            beats.set_task(envelope.task_id, envelope.epoch)
+            try:
+                _maybe_stall(envelope, beats)
+                value = _execute_envelope(envelope, ctx)
+                result_queue.put(ResultEnvelope(
+                    envelope.task_id, envelope.epoch, worker, True,
+                    value=value))
+            except BaseException as exc:
+                try:
+                    result_queue.put(ResultEnvelope(
+                        envelope.task_id, envelope.epoch, worker, False,
+                        error=RunFailure.from_exception(exc)))
+                except Exception:
+                    break  # result queue gone: supervisor is shutting down
+            beats.set_task(None, 0)
+    finally:
+        beats.stop()
+        site.remove_heartbeat(worker)
+
+
+# ----------------------------------------------------------------------
+# Worker crew (supervisor side)
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerHandle:
+    worker: int
+    process: Any
+    queue: Any
+    #: Task id the supervisor believes this worker is executing.
+    task_id: "str | None" = None
+    epoch: int = 0
+    dispatched: int = field(default=0)
+
+    @property
+    def idle(self) -> bool:
+        return self.task_id is None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerCrew:
+    """Spawn, feed, reap, and replace the build's worker processes."""
+
+    def __init__(self, n_workers: int, worksite: Worksite,
+                 ctx: WorkerContext, heartbeat_every: float) -> None:
+        import multiprocessing as mp
+
+        try:
+            self._mp = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self._mp = mp.get_context()
+        self.worksite = worksite
+        self.ctx = ctx
+        self.heartbeat_every = heartbeat_every
+        self.results = self._mp.Queue()
+        self.workers: "dict[int, WorkerHandle]" = {}
+        self.replaced = 0
+        self._next_id = 0
+        for _ in range(n_workers):
+            self.spawn()
+
+    def spawn(self) -> WorkerHandle:
+        worker = self._next_id
+        self._next_id += 1
+        queue = self._mp.Queue()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(worker, queue, self.results, str(self.worksite.root),
+                  self.heartbeat_every, self.ctx),
+            name=f"repro-crew-{worker}", daemon=True)
+        process.start()
+        handle = WorkerHandle(worker, process, queue)
+        self.workers[worker] = handle
+        return handle
+
+    def dispatch(self, handle: WorkerHandle,
+                 envelope: TaskEnvelope) -> None:
+        handle.task_id = envelope.task_id
+        handle.epoch = envelope.epoch
+        handle.dispatched += 1
+        handle.queue.put(envelope)
+
+    def mark_idle(self, worker: int) -> None:
+        handle = self.workers.get(worker)
+        if handle is not None:
+            handle.task_id = None
+            handle.epoch = 0
+
+    def idle_workers(self) -> "list[WorkerHandle]":
+        return [h for h in self.workers.values()
+                if h.idle and h.alive()]
+
+    def dead_workers(self) -> "list[WorkerHandle]":
+        return [h for h in self.workers.values() if not h.alive()]
+
+    def kill(self, handle: WorkerHandle) -> None:
+        """SIGKILL a (presumed hung) worker and reap it."""
+        if handle.alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        self._close(handle)
+        self.workers.pop(handle.worker, None)
+        self.worksite.remove_heartbeat(handle.worker)
+
+    def remove(self, handle: WorkerHandle) -> None:
+        """Reap a worker that already died on its own."""
+        handle.process.join(timeout=5.0)
+        self._close(handle)
+        self.workers.pop(handle.worker, None)
+        self.worksite.remove_heartbeat(handle.worker)
+
+    def replace(self, handle: WorkerHandle) -> WorkerHandle:
+        self.remove(handle)
+        self.replaced += 1
+        return self.spawn()
+
+    def poll_result(self, timeout: float) -> "ResultEnvelope | None":
+        import queue as queue_mod
+
+        try:
+            return self.results.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        """Stop every worker: politely (sentinel + join) or by SIGKILL
+        when the build is bailing out and workers may be hung."""
+        for handle in list(self.workers.values()):
+            if kill or not handle.alive():
+                self.kill(handle)
+                continue
+            try:
+                handle.queue.put(None)
+            except Exception:
+                self.kill(handle)
+        for handle in list(self.workers.values()):
+            handle.process.join(timeout=5.0)
+            if handle.alive():
+                self.kill(handle)
+            else:
+                self._close(handle)
+                self.workers.pop(handle.worker, None)
+                self.worksite.remove_heartbeat(handle.worker)
+        self.results.close()
+        self.results.cancel_join_thread()
+
+    def _close(self, handle: WorkerHandle) -> None:
+        try:
+            handle.queue.close()
+            handle.queue.cancel_join_thread()
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        try:
+            handle.process.close()
+        except Exception:  # pragma: no cover - still running
+            pass

@@ -56,7 +56,8 @@ class TestRunFailure:
     def test_kinds_are_closed(self):
         assert set(FAILURE_KINDS) == {"memory", "timeout", "numeric",
                                       "nonconvergence", "crash",
-                                      "cache-corrupt"}
+                                      "cache-corrupt", "lease-expired",
+                                      "quarantined-poison"}
         with pytest.raises(ValidationError):
             RunFailure(kind="cosmic-ray", message="bit flip")
 
@@ -78,13 +79,16 @@ class TestRunFailure:
 
     def test_expected_vs_retryable_partition(self):
         assert EXPECTED_KINDS == {"memory"}
-        assert RETRYABLE_KINDS == {"timeout", "crash", "cache-corrupt"}
+        assert RETRYABLE_KINDS == {"timeout", "crash", "cache-corrupt",
+                                   "lease-expired"}
         assert RunFailure(kind="memory", message="m").expected
         assert not RunFailure(kind="crash", message="c").expected
         assert RunFailure(kind="timeout", message="t").retryable
         # The health kinds are deterministic: never retried, never
-        # expected — they always drive a nonzero corpus exit.
-        for kind in ("numeric", "nonconvergence"):
+        # expected — they always drive a nonzero corpus exit. A poison
+        # quarantine is the *decision* to stop retrying, so it is
+        # terminal too.
+        for kind in ("numeric", "nonconvergence", "quarantined-poison"):
             failure = RunFailure(kind=kind, message="x")
             assert not failure.retryable
             assert not failure.expected

@@ -1,0 +1,743 @@
+"""Supervised DAG scheduler tests: the task-board state machine
+(unit + hypothesis property), lease expiry / re-dispatch, poison-cell
+quarantine, the circuit breaker's inline fallback, speculative
+re-execution, quarantine GC, and the scheduler CLI flags.
+
+The board tests are pure (injected clocks, no processes); the
+integration tests spawn a real worker crew and drive the hung-worker
+failure mode through ``REPRO_INJECT_STALL``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.errors import RunTimeoutError
+from repro.behavior.run import INJECT_SLEEP_ENV, run_computation
+from repro.experiments.config import ExperimentMatrix, Profile
+from repro.experiments.corpus import (
+    BehaviorCorpus,
+    build_corpus,
+    execute_planned_run,
+    run_cache_key,
+)
+from repro.experiments.failures import RunFailure, full_jitter_backoff
+from repro.experiments.results import ResultStore
+from repro.experiments.scheduler import (
+    _ALLOWED_TRANSITIONS,
+    SUPERVISOR_WORKER,
+    CircuitBreaker,
+    SchedulerConfig,
+    SchedulerError,
+    Supervisor,
+    Task,
+    TaskBoard,
+)
+from repro.experiments.worksite import (
+    INJECT_STALL_ENV,
+    INJECT_STALL_TOKENS_ENV,
+    HeartbeatWriter,
+    WorkerContext,
+    Worksite,
+)
+
+#: Tiny profile so supervised builds finish in seconds.
+SCHED_PROFILE = Profile(
+    name="sched",
+    ga_sizes=(200, 600),
+    cf_sizes=(80, 200),
+    matrix_rows=(30,),
+    grid_sides=(8,),
+    mrf_edges=(40,),
+    memory_budget_bytes=1_400_000,
+    ad_n_hashes=64,
+    coverage_samples=1_000,
+    seed=11,
+    alphas=(2.0, 2.5),
+)
+
+#: Substring of one cell's task id (``run:<profile>-<alg>-<spec key>``)
+#: that matches neither that spec's materialize task nor other cells.
+STALL_TARGET = "cc-ga-ne200-a2.0"
+
+
+def _board(**kwargs) -> TaskBoard:
+    kwargs.setdefault("lease_timeout_s", 1.0)
+    kwargs.setdefault("backoff_base_s", 0.0)
+    return TaskBoard(**kwargs)
+
+
+def _plan_for(algorithms) -> list:
+    matrix = ExperimentMatrix(SCHED_PROFILE)
+    return [p for p in matrix.corpus_runs() if p.algorithm in algorithms]
+
+
+def _worker_ctx(store) -> WorkerContext:
+    return WorkerContext(
+        store_root=str(store.root) if store is not None else None,
+        profile=SCHED_PROFILE, timeout_s=None, retries=0, resume=False,
+        health_policy=None, health_check_every=None, checkpoint_dir=None,
+        checkpoint_every=None, graph_cache_bytes=None, obs_level="off",
+        obs_dir=None, run_id=None)
+
+
+# ----------------------------------------------------------------------
+# TaskBoard: the pure state machine
+# ----------------------------------------------------------------------
+class TestTaskBoard:
+    def test_duplicate_and_unknown_dep_rejected(self):
+        board = _board()
+        board.add(Task("a", "run"))
+        with pytest.raises(SchedulerError):
+            board.add(Task("a", "run"))
+        with pytest.raises(SchedulerError):
+            board.add(Task("b", "run", deps=("missing",)))
+
+    def test_ready_gates_on_deps_and_backoff(self):
+        board = _board()
+        board.add(Task("mat", "materialize"))
+        board.add(Task("r1", "run", deps=("mat",)))
+        late = board.add(Task("r2", "run"))
+        late.not_before = 5.0
+        assert [t.id for t in board.ready(0.0)] == ["mat"]
+        epoch = board.lease("mat", 0, 0.0)
+        board.complete("mat", None)
+        assert epoch == 1
+        # Dep terminal -> r1 dispatchable; r2 still behind its backoff.
+        assert [t.id for t in board.ready(1.0)] == ["r1"]
+        assert [t.id for t in board.ready(5.0)] == ["r1", "r2"]
+
+    def test_deps_are_ordering_not_success_edges(self):
+        board = _board()
+        board.add(Task("mat", "materialize"))
+        board.add(Task("r", "run", deps=("mat",)))
+        epoch = board.lease("mat", 0, 0.0)
+        board.fail("mat", epoch, RunFailure(kind="crash", message="boom"))
+        # A failed materialize leaves its cells runnable.
+        assert [t.id for t in board.ready(1.0)] == ["r"]
+
+    def test_lease_complete_lifecycle(self):
+        board = _board()
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 3, 10.0)
+        assert task.status == "leased"
+        assert task.find_lease(3, epoch).deadline == pytest.approx(11.0)
+        assert board.complete("r", "payload")
+        assert task.status == "done" and task.result == "payload"
+        assert not task.leases
+        with pytest.raises(SchedulerError):
+            board.lease("r", 0, 12.0)  # terminal states are final
+
+    def test_complete_is_first_wins(self):
+        board = _board()
+        board.add(Task("r", "run"))
+        board.lease("r", 0, 0.0)
+        assert board.complete("r", "first")
+        assert not board.complete("r", "second")
+        assert board.get("r").result == "first"
+
+    def test_late_completion_of_requeued_task_is_accepted(self):
+        """A revoked lease's worker finishing late is still a valid
+        answer (byte-identical store write), so a pending task may be
+        completed — through a supervisor re-own, never pending->done."""
+        board = _board()
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 0, 0.0)
+        lease = task.find_lease(0, epoch)
+        assert board.revoke_lease(task, lease, 2.0) == "requeued"
+        assert task.status == "pending"
+        assert board.complete("r", "late-but-right")
+        assert task.status == "done"
+
+    def test_renew_pushes_deadline_stale_beats_ignored(self):
+        board = _board(lease_timeout_s=2.0)
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 1, 0.0)
+        assert board.renew(1, "r", epoch, ts=1.5)
+        assert task.find_lease(1).deadline == pytest.approx(3.5)
+        # A renewal can only extend, never shorten.
+        assert board.renew(1, "r", epoch, ts=0.1)
+        assert task.find_lease(1).deadline == pytest.approx(3.5)
+        assert not board.renew(1, "r", epoch + 7, ts=9.0)  # stale epoch
+        assert not board.renew(2, "r", epoch, ts=9.0)      # wrong worker
+        assert not board.renew(1, "missing", epoch, ts=9.0)
+
+    def test_expiry_requeues_with_jitter_backoff(self):
+        board = _board(backoff_base_s=0.5, backoff_cap_s=4.0)
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 0, 0.0)
+        assert board.expired_leases(0.5) == []
+        [(expired_task, lease)] = board.expired_leases(1.5)
+        assert expired_task is task and lease.epoch == epoch
+        assert board.revoke_lease(task, lease, 1.5) == "requeued"
+        assert task.status == "pending"
+        assert task.lease_expiries == 1
+        assert task.failure.kind == "lease-expired"
+        expected = full_jitter_backoff(0.5, 1, key="r", cap_s=4.0)
+        assert task.not_before == pytest.approx(1.5 + expected)
+        assert board.total_lease_expiries == 1
+
+    def test_quarantine_after_exactly_k_expiries(self):
+        board = _board(max_lease_expiries=2)
+        task = board.add(Task("r", "run"))
+        for attempt in range(2):
+            epoch = board.lease("r", attempt, float(attempt))
+            lease = task.find_lease(attempt, epoch)
+            outcome = board.revoke_lease(task, lease, float(attempt) + 2)
+        assert outcome == "quarantined"
+        assert task.status == "quarantined"
+        assert task.lease_expiries == 2
+        assert task.failure.kind == "quarantined-poison"
+        with pytest.raises(SchedulerError):
+            board.lease("r", 9, 99.0)
+        assert not board.complete("r", "too-late")
+
+    def test_fail_requires_live_epoch(self):
+        board = _board()
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 0, 0.0)
+        lease = task.find_lease(0, epoch)
+        board.revoke_lease(task, lease, 2.0)
+        # The revoked attempt's failure report is stale: dropped.
+        assert not board.fail("r", epoch, RunFailure(kind="crash",
+                                                     message="stale"))
+        assert task.status == "pending"
+        epoch2 = board.lease("r", 1, 2.0)
+        assert board.fail("r", epoch2, RunFailure(kind="crash",
+                                                  message="live"))
+        assert task.status == "failed"
+        assert task.failure.message == "live"
+
+    def test_speculative_twin_survives_primary_revocation(self):
+        board = _board()
+        task = board.add(Task("r", "run"))
+        e1 = board.lease("r", 0, 0.0)
+        board.lease("r", 1, 0.5, speculative=True)
+        assert task.speculated and len(task.leases) == 2
+        primary = task.find_lease(0, e1)
+        assert board.revoke_lease(task, primary, 2.0) == "survived"
+        assert task.status == "leased"  # the shadow still owns it
+        assert board.complete("r", "shadow-wins")
+        assert task.status == "done"
+
+    def test_speculative_lease_requires_leased_task(self):
+        board = _board()
+        board.add(Task("r", "run"))
+        with pytest.raises(SchedulerError):
+            board.lease("r", 0, 0.0, speculative=True)
+
+    def test_transitions_are_observable_and_legal(self):
+        seen = []
+        board = _board(
+            on_transition=lambda t, old, new, info: seen.append((old, new)))
+        task = board.add(Task("r", "run"))
+        epoch = board.lease("r", 0, 0.0)
+        board.revoke_lease(task, task.find_lease(0, epoch), 2.0)
+        board.lease("r", 1, 2.0)
+        board.complete("r", "v")
+        assert seen == [("pending", "leased"), ("leased", "pending"),
+                        ("pending", "leased"), ("leased", "done")]
+        for old, new in seen:
+            assert new in _ALLOWED_TRANSITIONS[old]
+
+    def test_counts(self):
+        board = _board()
+        board.add(Task("a", "run"))
+        board.add(Task("b", "run"))
+        board.lease("a", 0, 0.0)
+        board.complete("a", None)
+        counts = board.counts()
+        assert counts["done"] == 1 and counts["pending"] == 1
+        assert not board.all_terminal()
+
+
+# ----------------------------------------------------------------------
+# Property test: every task terminates under random kills/stalls
+# ----------------------------------------------------------------------
+class TestTaskBoardProperty:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_task_reaches_a_terminal_state(self, data):
+        """Drive a random DAG through a random schedule of leases,
+        completions, failures, renewals, and worker kills (revocations),
+        then let a draining supervisor loop run: every task must land
+        in a terminal state, via legal transitions only, with the
+        poison budget exactly enforced."""
+        k = data.draw(st.integers(1, 3), label="max_lease_expiries")
+        transitions = []
+        board = TaskBoard(
+            lease_timeout_s=10.0, max_lease_expiries=k,
+            backoff_base_s=0.0,
+            on_transition=lambda t, old, new, info:
+                transitions.append((t.id, old, new)))
+        ids = []
+        for i in range(data.draw(st.integers(1, 6), label="n_tasks")):
+            deps = (tuple(data.draw(
+                st.sets(st.sampled_from(ids), max_size=2), label="deps"))
+                if ids else ())
+            board.add(Task(f"t{i}", "run", deps=deps))
+            ids.append(f"t{i}")
+
+        now = 0.0
+        for _ in range(data.draw(st.integers(0, 30), label="n_events")):
+            now += 1.0
+            action = data.draw(st.sampled_from(
+                ["lease", "complete", "fail", "kill", "renew"]),
+                label="action")
+            leased = board.leased()
+            if action == "lease":
+                ready = board.ready(now)
+                if ready:
+                    task = data.draw(st.sampled_from(ready))
+                    board.lease(task.id,
+                                data.draw(st.integers(0, 3)), now)
+            elif action == "complete" and leased:
+                board.complete(data.draw(st.sampled_from(leased)).id, "v")
+            elif action == "fail" and leased:
+                task = data.draw(st.sampled_from(leased))
+                board.fail(task.id, task.leases[-1].epoch,
+                           RunFailure(kind="crash", message="x"))
+            elif action == "kill" and leased:
+                # SIGKILL / hard stall: the lease is lost, the task is
+                # requeued or quarantined.
+                task = data.draw(st.sampled_from(leased))
+                board.revoke_lease(task, task.leases[-1], now,
+                                   reason="worker-died")
+            elif action == "renew" and leased:
+                task = data.draw(st.sampled_from(leased))
+                board.renew(task.leases[-1].worker, task.id,
+                            task.leases[-1].epoch, now)
+
+        # Drain: what the supervisor's main loop guarantees — expired
+        # leases are revoked, ready tasks are dispatched and finished.
+        for _round in range(200):
+            if board.all_terminal():
+                break
+            now += 1_000.0
+            for task, lease in board.expired_leases(now):
+                board.revoke_lease(task, lease, now)
+            for task in board.ready(now):
+                board.lease(task.id, 0, now)
+                board.complete(task.id, "v")
+        assert board.all_terminal()
+
+        for task in board.tasks.values():
+            assert task.lease_expiries <= k
+            if task.status == "quarantined":
+                assert task.lease_expiries == k
+                assert task.failure.kind == "quarantined-poison"
+        for _task_id, old, new in transitions:
+            assert new in _ALLOWED_TRANSITIONS[old]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker + backoff
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_stays_closed_below_min_events(self):
+        breaker = CircuitBreaker(window=8, min_events=4, threshold=0.5)
+        for _ in range(3):
+            breaker.record(True)
+        assert not breaker.open
+
+    def test_opens_on_failure_fraction(self):
+        breaker = CircuitBreaker(window=8, min_events=4, threshold=0.5)
+        for outcome in (True, False, True, True, True):
+            breaker.record(outcome)
+        assert breaker.open
+        assert breaker.failures == 4
+
+    def test_successes_age_failures_out_of_the_window(self):
+        breaker = CircuitBreaker(window=4, min_events=4, threshold=0.5)
+        for _ in range(4):
+            breaker.record(True)
+        assert breaker.open
+        for _ in range(4):
+            breaker.record(False)
+        assert not breaker.open
+
+
+class TestFullJitterBackoff:
+    def test_deterministic_per_key_and_attempt(self):
+        a = full_jitter_backoff(0.1, 3, key="run:cc")
+        assert a == full_jitter_backoff(0.1, 3, key="run:cc")
+        draws = {full_jitter_backoff(0.1, 3, key=f"run:{i}")
+                 for i in range(16)}
+        assert len(draws) > 1  # jitter actually varies across keys
+
+    def test_bounded_by_exponential_ceiling_and_cap(self):
+        for attempt in range(1, 8):
+            value = full_jitter_backoff(0.2, attempt, key="x", cap_s=1.5)
+            assert 0.0 <= value <= min(1.5, 0.2 * 2 ** (attempt - 1))
+
+    def test_disabled_cases(self):
+        assert full_jitter_backoff(0.0, 3, key="x") == 0.0
+        assert full_jitter_backoff(0.5, 0, key="x") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Worksite heartbeats
+# ----------------------------------------------------------------------
+class TestWorksite:
+    def test_heartbeat_roundtrip_and_task_tagging(self, tmp_path):
+        site = Worksite(tmp_path / "site")
+        writer = HeartbeatWriter(site.heartbeat_path(2), 2, every_s=0.05)
+        writer.beat()
+        beat = site.read_heartbeats()[2]
+        assert beat.worker == 2 and beat.task_id is None
+        writer.set_task("run:abc", epoch=7)
+        beat = site.read_heartbeats()[2]
+        assert beat.task_id == "run:abc" and beat.epoch == 7
+        site.remove_heartbeat(2)
+        assert site.read_heartbeats() == {}
+
+    def test_torn_beat_files_are_skipped(self, tmp_path):
+        site = Worksite(tmp_path / "site")
+        site.heartbeat_path(0).write_text('{"worker": 0, "pid"',
+                                          encoding="utf-8")
+        site.heartbeat_path(1).write_text(
+            json.dumps({"worker": 1, "pid": 42, "ts": 1.0,
+                        "task_id": None, "epoch": 0}),
+            encoding="utf-8")
+        beats = site.read_heartbeats()
+        assert set(beats) == {1}
+
+    def test_suspend_models_a_hang(self, tmp_path):
+        site = Worksite(tmp_path / "site")
+        writer = HeartbeatWriter(site.heartbeat_path(0), 0, every_s=0.05)
+        writer.start()
+        try:
+            writer.suspend()
+            stale = site.read_heartbeats()[0].ts
+            time.sleep(0.2)
+            assert site.read_heartbeats()[0].ts == stale
+            writer.resume()
+            assert site.read_heartbeats()[0].ts > stale
+        finally:
+            writer.stop()
+
+    def test_cleanup_removes_beats_and_directory(self, tmp_path):
+        root = tmp_path / "site"
+        site = Worksite(root)
+        HeartbeatWriter(site.heartbeat_path(0), 0).beat()
+        site.cleanup()
+        assert not root.exists()
+
+
+# ----------------------------------------------------------------------
+# Quarantine GC (satellite: bounded retention, oldest-first sweep)
+# ----------------------------------------------------------------------
+class TestQuarantineGC:
+    def _populate(self, qdir, n):
+        qdir.mkdir(parents=True, exist_ok=True)
+        import os
+
+        for i in range(n):
+            path = qdir / f"entry-{i}.json"
+            path.write_text("{}", encoding="utf-8")
+            os.utime(path, (i, i))  # strictly increasing mtimes
+
+    def test_result_store_sweeps_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._populate(store.quarantine_dir, 6)
+        assert store.gc_quarantine(2) == 4
+        survivors = sorted(p.name for p in
+                           store.quarantine_dir.glob("*.json"))
+        assert survivors == ["entry-4.json", "entry-5.json"]
+        assert store.gc_quarantine(2) == 0  # idempotent
+
+    def test_result_store_gc_edge_cases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.gc_quarantine(5) == 0  # no quarantine dir yet
+        self._populate(store.quarantine_dir, 2)
+        assert store.gc_quarantine(-1) == 0  # negative keep: no-op
+        assert store.gc_quarantine(0) == 2  # keep nothing
+
+    def test_quarantine_call_auto_sweeps(self, tmp_path, monkeypatch):
+        import repro.experiments.results as results_mod
+
+        monkeypatch.setattr(results_mod, "QUARANTINE_MAX_ENTRIES", 3)
+        store = ResultStore(tmp_path)
+        self._populate(store.quarantine_dir, 5)
+        (tmp_path / "bad.json").write_text("not json", encoding="utf-8")
+        assert store.quarantine(tmp_path / "bad.json") is not None
+        assert store.n_quarantined() == 3
+
+    def test_snapshot_store_gc(self, tmp_path):
+        from repro.engine import SnapshotStore
+
+        snaps = SnapshotStore(tmp_path)
+        qdir = tmp_path / "quarantine"
+        qdir.mkdir()
+        import os
+
+        for i in range(4):
+            path = qdir / f"old-{i}.snap"
+            path.write_bytes(b"x")
+            os.utime(path, (i, i))
+        assert snaps.gc_quarantine(1) == 3
+        assert [p.name for p in qdir.glob("*.snap")] == ["old-3.snap"]
+
+    def test_build_corpus_gc_flag_records_sweep(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        self._populate(store.quarantine_dir, 4)
+        corpus = build_corpus(SCHED_PROFILE, store=store, workers=1,
+                              gc_quarantine=1)
+        assert corpus.quarantine_swept["results"] == 3
+        assert "quarantine sweep" in corpus.summary()
+
+
+# ----------------------------------------------------------------------
+# Materialize-phase wall-clock budget (satellite 1)
+# ----------------------------------------------------------------------
+class TestMaterializePhaseBudget:
+    @staticmethod
+    def _target_planned():
+        return next(p for p in _plan_for({"cc"})
+                    if STALL_TARGET in f"cc-{p.spec.cache_key()}")
+
+    def test_sigalrm_timeout_names_the_materialize_phase(self, monkeypatch):
+        planned = self._target_planned()
+        monkeypatch.setenv(INJECT_SLEEP_ENV, f"{STALL_TARGET}:5")
+        with pytest.raises(RunTimeoutError) as err:
+            run_computation("cc", planned.spec, timeout_s=0.3)
+        assert "(phase: materialize)" in str(err.value)
+
+    def test_cooperative_fallback_also_covers_materialize(self, monkeypatch):
+        """Off the main thread SIGALRM is unavailable; the cooperative
+        deadline must still bound materialization (not grant the engine
+        a fresh full budget afterwards)."""
+        import warnings
+
+        planned = self._target_planned()
+        monkeypatch.setenv(INJECT_SLEEP_ENV, f"{STALL_TARGET}:5")
+        caught = []
+
+        def body():
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    run_computation("cc", planned.spec, timeout_s=0.3)
+            except RunTimeoutError as exc:
+                caught.append(exc)
+            except Exception:  # pragma: no cover - diagnosis aid
+                pass
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=30)
+        assert caught, "cooperative deadline never fired"
+        message = str(caught[0])
+        assert "(phase: materialize)" in message
+        assert "cooperative" in message
+
+
+# ----------------------------------------------------------------------
+# Integration: real crews, injected stalls
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clean_corpus():
+    """Undisturbed inline build of the module profile, for vector
+    comparisons."""
+    return build_corpus(SCHED_PROFILE, use_cache=False, workers=1)
+
+
+class TestLeaseExpiryIntegration:
+    def test_stalled_worker_is_revoked_and_build_is_bit_identical(
+            self, tmp_path, monkeypatch, clean_corpus):
+        """A worker that hangs (stops heartbeating) on one cell loses
+        its lease; the cell is re-dispatched and the finished corpus is
+        bit-identical to an undisturbed build, with the expiry visible
+        in telemetry."""
+        token_dir = tmp_path / "stall-tokens"
+        token_dir.mkdir()
+        (token_dir / "token-0").touch()
+        monkeypatch.setenv(INJECT_STALL_ENV, f"{STALL_TARGET}:30")
+        monkeypatch.setenv(INJECT_STALL_TOKENS_ENV, str(token_dir))
+        obs_dir = tmp_path / "obs"
+        corpus = build_corpus(
+            SCHED_PROFILE, store=ResultStore(tmp_path / "cache"),
+            workers=2, lease_timeout_s=1.5, heartbeat_every_s=0.2,
+            obs="basic", obs_dir=obs_dir)
+        assert not list(token_dir.iterdir()), \
+            "the stall never fired — the harness tested nothing"
+        assert corpus.lease_expiries >= 1
+        assert corpus.workers_replaced >= 1
+        assert not corpus.unexpected_failures, \
+            [str(f.failure) for f in corpus.failures]
+        assert not corpus.degraded_to_inline
+
+        expected = [(v.tag, v.as_array().tolist())
+                    for v in clean_corpus.vectors()]
+        actual = [(v.tag, v.as_array().tolist()) for v in corpus.vectors()]
+        assert actual == expected  # order and content
+
+        events = "".join(p.read_text(encoding="utf-8")
+                         for p in obs_dir.rglob("*.jsonl"))
+        assert '"lease-expired"' in events
+        assert '"task"' in events  # per-transition events present
+
+    def test_no_heartbeat_litter_after_build(self, tmp_path):
+        import glob
+
+        before = set(glob.glob("/tmp/repro-worksite-*"))
+        build_corpus(SCHED_PROFILE, store=ResultStore(tmp_path / "cache"),
+                     workers=2)
+        leaked = set(glob.glob("/tmp/repro-worksite-*")) - before
+        assert not leaked, f"leaked worksites: {leaked}"
+
+
+class TestPoisonQuarantine:
+    def test_poison_cell_quarantined_after_k_expiries(self, tmp_path,
+                                                      monkeypatch):
+        """A cell that hangs every worker that touches it (unbounded
+        stall injection) is quarantined after K lost leases instead of
+        hanging or aborting the build; the verdict is persisted as a
+        non-retryable failure."""
+        monkeypatch.setenv(INJECT_STALL_ENV, f"{STALL_TARGET}:60")
+        monkeypatch.delenv(INJECT_STALL_TOKENS_ENV, raising=False)
+        store = ResultStore(tmp_path / "cache")
+        plan = _plan_for({"cc"})
+        corpus = BehaviorCorpus(profile=SCHED_PROFILE)
+        config = SchedulerConfig(
+            lease_timeout_s=0.8, heartbeat_every_s=0.2,
+            max_lease_expiries=2, breaker_min_events=1_000)
+        started = time.perf_counter()
+        Supervisor(plan=plan, profile=SCHED_PROFILE, store=store,
+                   corpus=corpus, workers=2, ctx=_worker_ctx(store),
+                   config=config, use_shm=False).run()
+        elapsed = time.perf_counter() - started
+        assert elapsed < 60, "the poison cell hung the build"
+
+        poisoned = [f for f in corpus.failures
+                    if f.failure.kind == "quarantined-poison"]
+        assert len(poisoned) == 1
+        assert STALL_TARGET in run_cache_key(
+            next(p for p in plan
+                 if p.algorithm == poisoned[0].algorithm
+                 and p.spec == poisoned[0].spec), SCHED_PROFILE)
+        assert corpus.lease_expiries >= 2
+        # The healthy siblings completed despite the poison.
+        assert len(corpus.runs) == len(plan) - 1
+        # quarantined-poison exits 3 through the unexpected-failure
+        # path: it is neither expected nor retryable.
+        assert poisoned[0] in corpus.unexpected_failures
+        assert not poisoned[0].failure.retryable
+
+        # The verdict is persisted: a replayed build consumes it from
+        # the cache instead of feeding the cell to a fresh crew.
+        target = next(p for p in plan
+                      if STALL_TARGET in run_cache_key(p, SCHED_PROFILE))
+        key = run_cache_key(target, SCHED_PROFILE)
+        assert store.load_failure(key).kind == "quarantined-poison"
+        monkeypatch.delenv(INJECT_STALL_ENV)
+        replayed = execute_planned_run(target, SCHED_PROFILE, store)
+        assert replayed.source == "cache"
+        assert replayed.failure.kind == "quarantined-poison"
+
+
+class TestCircuitBreaker_Integration:
+    def test_unhealthy_crew_degrades_to_inline_execution(self, tmp_path,
+                                                         monkeypatch):
+        """When every worker stalls (systemic infra failure), the
+        breaker opens and the supervisor finishes the build inline —
+        complete and correct, just not parallel."""
+        monkeypatch.setenv(INJECT_STALL_ENV, "run:sched:60")
+        monkeypatch.delenv(INJECT_STALL_TOKENS_ENV, raising=False)
+        store = ResultStore(tmp_path / "cache")
+        plan = _plan_for({"cc"})
+        corpus = BehaviorCorpus(profile=SCHED_PROFILE)
+        config = SchedulerConfig(
+            lease_timeout_s=0.6, heartbeat_every_s=0.2,
+            max_lease_expiries=100,  # requeue, don't quarantine
+            breaker_window=8, breaker_min_events=2,
+            breaker_threshold=0.5)
+        Supervisor(plan=plan, profile=SCHED_PROFILE, store=store,
+                   corpus=corpus, workers=2, ctx=_worker_ctx(store),
+                   config=config, use_shm=False).run()
+        assert corpus.degraded_to_inline
+        assert len(corpus.runs) == len(plan)
+        assert not corpus.failures
+        assert "degraded to inline" in corpus.summary()
+
+
+class TestSpeculativeExecution:
+    def test_straggler_is_shadowed_and_first_completion_wins(
+            self, tmp_path, monkeypatch):
+        """With speculation on, an idle worker shadows a straggling
+        cell; the shadow's completion lands first and the build does
+        not wait out the straggler's stall."""
+        token_dir = tmp_path / "stall-tokens"
+        token_dir.mkdir()
+        (token_dir / "token-0").touch()
+        monkeypatch.setenv(INJECT_STALL_ENV, f"{STALL_TARGET}:25")
+        monkeypatch.setenv(INJECT_STALL_TOKENS_ENV, str(token_dir))
+        store = ResultStore(tmp_path / "cache")
+        plan = _plan_for({"cc"})
+        corpus = BehaviorCorpus(profile=SCHED_PROFILE)
+        config = SchedulerConfig(
+            lease_timeout_s=120.0,  # no expiry: speculation must save us
+            heartbeat_every_s=0.2, speculative=True)
+        started = time.perf_counter()
+        Supervisor(plan=plan, profile=SCHED_PROFILE, store=store,
+                   corpus=corpus, workers=3, ctx=_worker_ctx(store),
+                   config=config, use_shm=False).run()
+        elapsed = time.perf_counter() - started
+        assert corpus.speculative_runs >= 1
+        assert len(corpus.runs) == len(plan)
+        assert not corpus.failures
+        assert elapsed < 25, "the build waited out the straggler"
+        assert "speculative" in corpus.summary()
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestCliFlags:
+    def test_scheduler_flags_forward_to_build_corpus(self, capsys,
+                                                     monkeypatch):
+        import repro.experiments.corpus as corpus_mod
+        from repro.cli import main
+
+        captured = {}
+
+        def fake_build(profile=None, **kwargs):
+            captured.update(kwargs)
+            return BehaviorCorpus(profile=SCHED_PROFILE)
+
+        monkeypatch.setattr(corpus_mod, "build_corpus", fake_build)
+        code = main(["corpus", "--workers", "4",
+                     "--lease-timeout", "2.5", "--heartbeat-every", "0.5",
+                     "--max-lease-expiries", "5", "--speculative",
+                     "--gc-quarantine", "64"])
+        capsys.readouterr()
+        assert code == 0
+        assert captured["workers"] == 4
+        assert captured["lease_timeout_s"] == 2.5
+        assert captured["heartbeat_every_s"] == 0.5
+        assert captured["max_lease_expiries"] == 5
+        assert captured["speculative"] is True
+        assert captured["gc_quarantine"] == 64
+
+    def test_scheduler_flags_default_to_none(self, capsys, monkeypatch):
+        import repro.experiments.corpus as corpus_mod
+        from repro.cli import main
+
+        captured = {}
+
+        def fake_build(profile=None, **kwargs):
+            captured.update(kwargs)
+            return BehaviorCorpus(profile=SCHED_PROFILE)
+
+        monkeypatch.setattr(corpus_mod, "build_corpus", fake_build)
+        assert main(["corpus"]) == 0
+        capsys.readouterr()
+        assert captured["lease_timeout_s"] is None
+        assert captured["heartbeat_every_s"] is None
+        assert captured["max_lease_expiries"] is None
+        assert captured["speculative"] is False
+        assert captured["gc_quarantine"] is None
