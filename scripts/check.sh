@@ -27,6 +27,14 @@ PYTHONPATH=src python -m pytest -x -q "$@"
 if [ "${REPRO_SKIP_CHAOS:-0}" != "1" ]; then
     echo "== chaos smoke (supervised scheduler) =="
     PYTHONPATH=src timeout 300 python scripts/chaos_smoke.py
+
+    # Distributed chaos smoke: coordinator + two real node agents on
+    # one shared queue, one SIGKILLed mid-lease, one frozen past its
+    # lease and woken as a fenced zombie. Must converge bit-identical
+    # to an inline build, reject every stale-epoch store, and sweep
+    # away all queue/heartbeat/shm artifacts (docs/scheduling.md).
+    echo "== distributed chaos smoke (multi-node queue) =="
+    PYTHONPATH=src timeout 300 python scripts/distributed_smoke.py
 fi
 
 # Telemetry-overhead smoke: a full-observability corpus build must

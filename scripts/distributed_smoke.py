@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Time-bounded multi-node chaos smoke for the distributed queue.
+
+Runs, on a single machine:
+
+1. an inline reference build of a tiny profile (the ground truth),
+2. a distributed build of the same profile — a coordinator plus two
+   real ``repro node`` agent subprocesses sharing a queue directory —
+   with chaos injected into both agents:
+
+   - one agent is SIGKILLed mid-lease (``REPRO_INJECT_NODE_KILL``),
+   - one agent freezes past its lease, then wakes and tries to
+     publish with a fenced epoch (``REPRO_INJECT_NODE_FREEZE``),
+
+and asserts the robustness contract end to end:
+
+- the distributed corpus vectors are **bit-identical** to the inline
+  reference (same arrays, same tags, same order),
+- at least one stale-epoch store attempt was **rejected** (the woken
+  zombie's publish hit its fence) and **zero** stale-epoch stores
+  were accepted (no stale done markers),
+- every revoked lease was re-dispatched (requeues >= 1, all cells
+  resolved),
+- the queue directory is swept away and no shared-memory or
+  heartbeat artifacts leak.
+
+Exit 0 on success. The whole run is bounded by ``--timeout`` seconds
+(default 300) so CI can never hang on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+FREEZE_S = 6.0
+LEASE_TIMEOUT_S = 2.5
+HEARTBEAT_S = 0.2
+
+
+def log(msg: str) -> None:
+    print(f"[dist-smoke] {msg}", flush=True)
+
+
+def fail(msg: str) -> "int":
+    print(f"[dist-smoke] FAIL: {msg}", flush=True)
+    return 1
+
+
+def tiny_profile():
+    from repro.experiments.config import Profile
+
+    return Profile(
+        name="dist-smoke", ga_sizes=(200, 500), cf_sizes=(200,),
+        matrix_rows=(16,), grid_sides=(8,), mrf_edges=(112,),
+        alphas=(2.0,), ad_n_hashes=16, coverage_samples=100, seed=3)
+
+
+def vector_fingerprint(corpus):
+    """Order-preserving (tag, bytes) fingerprint of every vector."""
+    return [(v.tag, v.as_array().tobytes()) for v in corpus.vectors()]
+
+
+def spawn_agent(queue_dir: Path, scratch: Path, name: str,
+                inject: "dict[str, str]") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_CACHE_DIR"] = str(scratch / "cache")
+    env.update(inject)
+    out = open(scratch / f"{name}.log", "w", encoding="utf-8")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "node", str(queue_dir),
+         "--workers", "1", "--node-id", name,
+         "--manifest-wait", "60"],
+        env=env, stdout=out, stderr=subprocess.STDOUT)
+
+
+def run(timeout_s: float, keep: bool) -> int:
+    from repro.experiments.corpus import build_corpus
+    from repro.experiments.results import ResultStore
+
+    signal.signal(signal.SIGALRM,
+                  lambda *_: (_ for _ in ()).throw(
+                      TimeoutError(f"smoke exceeded {timeout_s:.0f}s")))
+    signal.alarm(int(timeout_s))
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-dist-smoke-"))
+    os.environ["REPRO_CACHE_DIR"] = str(scratch / "cache")
+    queue_dir = scratch / "queue"
+    shm_before = set(glob.glob("/dev/shm/repro-shm-*"))
+    profile = tiny_profile()
+    agents: "list[subprocess.Popen]" = []
+    try:
+        log("inline reference build ...")
+        t0 = time.monotonic()
+        inline = build_corpus(profile,
+                              store=ResultStore(scratch / "store-inline"),
+                              workers=1)
+        log(f"inline: {len(inline.runs)} runs, "
+            f"{len(inline.failures)} failures "
+            f"({time.monotonic() - t0:.1f}s)")
+        if inline.failures:
+            return fail("reference build has failures")
+        expected = vector_fingerprint(inline)
+
+        log("distributed chaos build: coordinator + victim (SIGKILL "
+            f"mid-lease) + sleeper (frozen {FREEZE_S:.0f}s past its "
+            f"{LEASE_TIMEOUT_S}s lease) ...")
+        agents = [
+            spawn_agent(queue_dir, scratch, "victim",
+                        {"REPRO_INJECT_NODE_KILL": "*:1"}),
+            spawn_agent(queue_dir, scratch, "sleeper",
+                        {"REPRO_INJECT_NODE_FREEZE": f"*:{FREEZE_S}"}),
+        ]
+        t0 = time.monotonic()
+        dist = build_corpus(profile,
+                            store=ResultStore(scratch / "store-dist"),
+                            workers=1,
+                            distributed=queue_dir,
+                            lease_timeout_s=LEASE_TIMEOUT_S,
+                            heartbeat_every_s=HEARTBEAT_S)
+        log(f"distributed: {len(dist.runs)} runs, "
+            f"{len(dist.failures)} failures, "
+            f"nodes seen {dist.nodes_seen}, lost {dist.nodes_lost}, "
+            f"requeues {dist.queue_requeues}, "
+            f"stale rejections {dist.stale_epoch_rejections} "
+            f"({time.monotonic() - t0:.1f}s)")
+
+        for proc in agents:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                return fail(f"agent pid {proc.pid} did not exit")
+        log(f"agent exits: victim={agents[0].returncode} "
+            f"sleeper={agents[1].returncode}")
+
+        # --- the robustness contract -----------------------------------
+        if dist.failures:
+            return fail("distributed build has failures")
+        got = vector_fingerprint(dist)
+        if got != expected:
+            return fail("distributed vectors are NOT bit-identical "
+                        "to the inline reference")
+        if dist.nodes_lost < 1:
+            return fail("chaos produced no lost nodes")
+        if dist.queue_requeues < 1:
+            return fail("no revoked lease was re-dispatched")
+        if dist.stale_epoch_rejections < 1:
+            return fail("the fenced zombie's publish was never "
+                        "rejected (stale_epoch_rejections == 0)")
+        if dist.stale_done_markers != 0:
+            return fail(f"{dist.stale_done_markers} stale-epoch stores "
+                        "were accepted before fencing caught them")
+        if dist.queue_leftovers != 0:
+            return fail(f"{dist.queue_leftovers} queue files survived "
+                        "the sweep")
+        if queue_dir.exists():
+            return fail("queue directory was not removed")
+        shm_leaked = set(glob.glob("/dev/shm/repro-shm-*")) - shm_before
+        if shm_leaked:
+            return fail(f"leaked shm segments: {sorted(shm_leaked)}")
+        if agents[1].returncode != 0:
+            return fail("sleeper agent should recover and exit 0, "
+                        f"got {agents[1].returncode}")
+        log("OK: bit-identical under chaos, fencing held, no leaks")
+        return 0
+    except TimeoutError as exc:
+        return fail(str(exc))
+    finally:
+        signal.alarm(0)
+        for proc in agents:
+            if proc.poll() is None:
+                proc.kill()
+        if keep:
+            log(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="overall wall-clock bound in seconds")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for debugging")
+    args = parser.parse_args()
+    return run(args.timeout, args.keep)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,10 @@ Commands
     breakdown, failure taxonomy, cache hit rates, iteration latency.
 ``tail``
     Print (and optionally follow) the structured event log of a run.
+``node``
+    Run a node agent against a shared distributed-build work queue
+    (see ``corpus --distributed``): claim tasks, execute them with a
+    local worker crew, publish results into the shared store.
 """
 
 from __future__ import annotations
@@ -164,7 +168,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="after the build, sweep result/snapshot "
                           "quarantine dirs down to the newest KEEP "
                           "entries (oldest removed first)")
+    cor.add_argument("--distributed", default=None, metavar="QUEUE_DIR",
+                     help="coordinate the build over a shared work "
+                          "queue at this directory (a shared "
+                          "filesystem path); peer machines join with "
+                          "'repro node QUEUE_DIR'. Without peers the "
+                          "build degrades to the local path.")
     _add_obs_arguments(cor)
+
+    nod = sub.add_parser(
+        "node", help="run a node agent for a distributed corpus build")
+    nod.add_argument("queue_dir",
+                     help="shared work-queue directory (same path the "
+                          "coordinator passed to --distributed)")
+    nod.add_argument("--workers", type=int, default=1,
+                     help="local worker processes (default: 1)")
+    nod.add_argument("--node-id", default=None, metavar="ID",
+                     help="stable node identity (default: "
+                          "<hostname>-<pid>-<rand>)")
+    nod.add_argument("--poll", type=float, default=None, metavar="SECONDS",
+                     help="queue poll interval (default: 0.05)")
+    nod.add_argument("--idle-exit", type=float, default=None,
+                     metavar="SECONDS",
+                     help="exit after this long without holding any "
+                          "claim (default: run until the build "
+                          "completes)")
+    nod.add_argument("--manifest-wait", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="how long to wait for a coordinator to "
+                          "publish the queue manifest (default: 60)")
 
     des = sub.add_parser("design", help="search for the best ensemble")
     des.add_argument("--profile", default=None)
@@ -200,6 +232,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sta.add_argument("run_dir",
                      help="observability directory (or its parent) "
                           "holding telemetry.json / events.jsonl")
+    sta.add_argument("--node", default=None, metavar="ID",
+                     help="restrict event-derived sections to one "
+                          "node of a distributed build")
 
     tai = sub.add_parser(
         "tail", help="print or follow a run's structured event log")
@@ -217,6 +252,8 @@ def _build_parser() -> argparse.ArgumentParser:
     tai.add_argument("--raw", action="store_true",
                      help="print raw JSON events instead of formatted "
                           "lines")
+    tai.add_argument("--node", default=None, metavar="ID",
+                     help="only show events stamped with this node id")
     return parser
 
 
@@ -458,6 +495,7 @@ def _cmd_corpus(args) -> int:
                               max_lease_expiries=args.max_lease_expiries,
                               speculative=args.speculative,
                               gc_quarantine=args.gc_quarantine,
+                              distributed=args.distributed,
                               obs=args.obs, obs_dir=args.obs_dir)
     print(corpus.summary())
     print(f"  executed {corpus.n_executed}, cached {corpus.n_cached}")
@@ -561,7 +599,7 @@ def _run_metadata_section(store_dir: "str | None") -> "str | None":
 def _cmd_stats(args) -> int:
     from repro.obs.stats import render_stats
 
-    print(render_stats(args.run_dir))
+    print(render_stats(args.run_dir, node=args.node))
     return 0
 
 
@@ -574,15 +612,32 @@ def _cmd_tail(args) -> int:
     obs_dir = resolve_run_dir(args.run_dir)
     render = ((lambda e: _json.dumps(e, sort_keys=True)) if args.raw
               else format_event)
-    for event in read_all_events(obs_dir)[-args.lines:]:
+    events = read_all_events(obs_dir)
+    if args.node is not None:
+        events = [e for e in events if e.get("node") == args.node]
+    for event in events[-args.lines:]:
         print(render(event))
     if args.follow:
         try:
             for event in follow_events(obs_dir, duration_s=args.duration):
+                if args.node is not None and event.get("node") != args.node:
+                    continue
                 print(render(event), flush=True)
         except KeyboardInterrupt:
             pass
     return 0
+
+
+def _cmd_node(args) -> int:
+    from repro.experiments.distqueue import DistributedQueue
+    from repro.experiments.nodeagent import NodeAgent
+
+    agent = NodeAgent(DistributedQueue(args.queue_dir),
+                      workers=args.workers,
+                      node=args.node_id,
+                      poll_s=args.poll if args.poll is not None else 0.05,
+                      idle_exit_s=args.idle_exit)
+    return agent.run(manifest_wait_s=args.manifest_wait)
 
 
 def _cmd_characterize_corpus(args) -> int:
@@ -604,6 +659,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "stats": _cmd_stats,
     "tail": _cmd_tail,
+    "node": _cmd_node,
 }
 
 

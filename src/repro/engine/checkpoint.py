@@ -256,23 +256,46 @@ class SnapshotStore:
         return snapshot
 
     def save(self, key: str, snapshot: Snapshot) -> Path:
-        """Publish a new latest generation, demoting the old one."""
+        """Publish a new latest generation, demoting the old one.
+
+        Transient disk faults (EIO, ENOSPC, ESTALE) during the stage/
+        demote/publish sequence get bounded jittered retries — the
+        sequence is idempotent, so re-running it after a partial
+        failure still leaves at least one complete generation.
+        """
+        from repro.experiments.failures import retry_transient_disk
         from repro.obs.telemetry import get_telemetry
 
         started = time.perf_counter()
         latest = self._latest_path(key)
-        latest.parent.mkdir(parents=True, exist_ok=True)
-        tmp = latest.with_name(
-            f"{latest.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            blob = self._encode(snapshot)
-            tmp.write_bytes(blob)
-            if latest.exists():
-                os.replace(latest, self._prev_path(key))
-            os.replace(tmp, latest)
-        finally:
-            if tmp.exists():
-                tmp.unlink(missing_ok=True)
+        blob = self._encode(snapshot)
+
+        def publish() -> None:
+            latest.parent.mkdir(parents=True, exist_ok=True)
+            tmp = latest.with_name(
+                f"{latest.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+            try:
+                tmp.write_bytes(blob)
+                try:
+                    os.replace(latest, self._prev_path(key))
+                except FileNotFoundError:
+                    pass  # no latest yet, or a concurrent saver demoted it
+                os.replace(tmp, latest)
+            finally:
+                if tmp.exists():
+                    tmp.unlink(missing_ok=True)
+
+        def count_retry(exc: OSError, attempt: int,
+                        delay_s: float) -> None:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.inc("checkpoint_disk_retries_total")
+                tel.emit("checkpoint", action="disk-retry",
+                         errno=exc.errno, attempt=attempt,
+                         backoff_s=delay_s)
+
+        retry_transient_disk(publish, key=f"snap:{key}",
+                             on_retry=count_retry)
         tel = get_telemetry()
         if tel.enabled:
             elapsed = time.perf_counter() - started

@@ -120,6 +120,21 @@ class BehaviorCorpus:
     #: Quarantine files removed by the post-build retention sweep,
     #: keyed by store ("results", "snapshots").
     quarantine_swept: "dict[str, int]" = field(default_factory=dict)
+    #: Distributed-queue accounting (``build_corpus(distributed=...)``):
+    #: whether this build ran over the shared work queue, how many
+    #: distinct node agents ever registered, how many were declared
+    #: lost (fenced), how many store attempts were rejected by an epoch
+    #: fence across all nodes, how many revoked leases were
+    #: re-dispatched, how many done markers were refused for carrying a
+    #: fenced epoch, and how many queue files survived the final sweep
+    #: (0 on a clean build).
+    distributed: bool = False
+    nodes_seen: int = 0
+    nodes_lost: int = 0
+    stale_epoch_rejections: int = 0
+    queue_requeues: int = 0
+    stale_done_markers: int = 0
+    queue_leftovers: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -218,6 +233,17 @@ class BehaviorCorpus:
                          f"expiries, {self.workers_replaced} workers "
                          f"replaced, {self.speculative_runs} speculative "
                          f"dispatches{mode}")
+        if self.distributed:
+            lines.append(f"  distributed: {self.nodes_seen} nodes seen, "
+                         f"{self.nodes_lost} lost, "
+                         f"{self.queue_requeues} requeues, "
+                         f"{self.stale_epoch_rejections} stale-epoch "
+                         f"stores rejected")
+            if self.stale_done_markers or self.queue_leftovers:
+                lines.append(f"  distributed anomalies: "
+                             f"{self.stale_done_markers} stale done "
+                             f"markers, {self.queue_leftovers} queue "
+                             f"files left behind")
         if self.quarantine_swept:
             swept = ", ".join(f"{name} {count}" for name, count
                               in sorted(self.quarantine_swept.items()))
@@ -468,7 +494,8 @@ def _isolated_execute(
 
 def _configure_worker_obs(obs_level: "str | None",
                           obs_dir: "str | None",
-                          run_id: "str | None") -> None:
+                          run_id: "str | None",
+                          node: "str | None" = None) -> None:
     """Point this pool worker's telemetry at its own sink file.
 
     Workers are forked, so they inherit the parent's registry (and its
@@ -482,9 +509,11 @@ def _configure_worker_obs(obs_level: "str | None",
     tel = get_telemetry()
     if (tel.run_id == run_id and tel.events is not None
             and tel.events.path == worker_sink_path(obs_dir, os.getpid())):
+        tel.set_node(node)
         return
-    configure(obs_level, run_id=run_id,
-              events_path=worker_sink_path(obs_dir, os.getpid()))
+    tel = configure(obs_level, run_id=run_id,
+                    events_path=worker_sink_path(obs_dir, os.getpid()))
+    tel.set_node(node)
 
 
 def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
@@ -630,6 +659,7 @@ def build_corpus(
     max_lease_expiries: "int | None" = None,
     speculative: bool = False,
     gc_quarantine: "int | None" = None,
+    distributed: "str | Path | None" = None,
 ) -> BehaviorCorpus:
     """Execute the full behavior-corpus plan (11 algorithms × 20 graphs).
 
@@ -710,6 +740,20 @@ def build_corpus(
         configured, snapshot-store) quarantine directories after the
         build, keeping only this many newest entries; counts land in
         ``quarantine_swept`` and the summary.
+    distributed:
+        Path to a shared work-queue directory (a filesystem every
+        participating machine can reach). The build then runs as a
+        *coordinator* over that queue (see
+        :mod:`repro.experiments.distqueue`): it publishes one durable
+        task per unsatisfied cell, runs an embedded node agent with
+        ``workers`` local workers, and supervises any peer agents
+        started with ``repro node <dir>`` — fencing dead or
+        partitioned nodes by epoch and re-dispatching their leases.
+        With no peers the build degrades gracefully to the single-node
+        shape; with an unreachable queue root it falls back to the
+        ordinary in-process path. ``lease_timeout_s`` doubles as the
+        node heartbeat timeout. Results flow through the shared
+        ``store`` (created at the default location when None).
     """
     if not isinstance(profile, Profile):
         profile = get_profile(profile)
@@ -747,7 +791,68 @@ def build_corpus(
 
     try:
         total = len(plan)
-        if workers <= 1:
+        dist_queue = None
+        if distributed is not None:
+            from repro.experiments.distqueue import DistributedQueue
+
+            dist_queue = DistributedQueue(distributed)
+            try:
+                dist_queue.ensure_layout()
+            except OSError as exc:
+                # The shared queue root is unreachable: degrade to the
+                # ordinary single-node path instead of failing the
+                # build over an infra fault.
+                dist_queue = None
+                tel.emit("distqueue", action="unreachable",
+                         error=str(exc))
+                if progress is not None:
+                    progress(f"distributed queue {distributed} "
+                             f"unreachable ({exc}); falling back to "
+                             f"single-node build")
+        if dist_queue is not None:
+            from repro.experiments.distqueue import (
+                Coordinator,
+                profile_to_dict,
+            )
+
+            if store is None:
+                # The queue protocol transports results through the
+                # shared store; a distributed build cannot run cacheless.
+                store = ResultStore()
+            tel.set_node("coordinator")
+            manifest = {
+                "profile": profile_to_dict(profile),
+                "store_root": str(Path(store.root).resolve()),
+                "timeout_s": timeout_s,
+                "retries": retries,
+                "resume": resume,
+                "health_policy": health_policy,
+                "health_check_every": health_check_every,
+                "checkpoint_dir": (str(Path(checkpoint_dir).resolve())
+                                   if checkpoint_dir is not None
+                                   else None),
+                "checkpoint_every": checkpoint_every,
+                "graph_cache_bytes": graph_cache_bytes,
+                "use_shm": use_shm,
+                "obs_level": obs_level,
+                "obs_dir": (str(obs_path.resolve())
+                            if obs_path is not None else None),
+                "run_id": run_id,
+                "lease_timeout_s": lease_timeout_s,
+                "heartbeat_every_s": heartbeat_every_s,
+                "max_lease_expiries": max_lease_expiries,
+                "backoff_base_s": profile.retry_backoff_s,
+            }
+            Coordinator(
+                queue=dist_queue, plan=plan, profile=profile,
+                store=store, corpus=corpus, manifest=manifest,
+                node_workers=workers,
+                node_lease_timeout_s=lease_timeout_s or 15.0,
+                max_task_requeues=max_lease_expiries or 3,
+                backoff_base_s=profile.retry_backoff_s,
+                progress=progress,
+                stop_requested=stop_requested).run()
+        elif workers <= 1:
             done = 0
             for planned in plan:
                 if stopped():

@@ -1,0 +1,963 @@
+"""Fenced, partition-tolerant shared work queue for multi-node builds.
+
+PR 7 gave one machine a supervised plan/lease/execute/update loop;
+this module lets a corpus build outlive that machine. The queue is a
+directory on a filesystem every participating node can reach (NFS,
+a shared scratch volume, or plain ``/tmp`` for the in-tree smoke) and
+borrows its correctness story from two primitives the repo already
+trusts:
+
+- **Atomic rename as mutual exclusion.** A task is one file under
+  ``tasks/``; a node claims it by ``os.replace``-renaming it into
+  ``claims/<task>@<node>@<epoch>.json``. Rename of one source path is
+  atomic — when two nodes race, exactly one rename succeeds and the
+  loser observes ``FileNotFoundError``. Ownership lives in the claim
+  *filename*, so there is no rewrite-after-rename window in which a
+  claim is ambiguous.
+- **Content-addressed, first-completion-wins results.** Execution
+  results travel through the existing
+  :class:`~repro.experiments.results.ResultStore`: byte-identical
+  deterministic traces under content-addressed keys, published with
+  atomic writer-unique staging. Duplicate execution after a partition
+  is therefore harmless — both sides write the same bytes.
+
+What makes the queue *partition-tolerant* rather than merely shared is
+**epoch fencing**. Every claim carries a per-node, monotonically
+increasing lease epoch. When the coordinator declares a node dead
+(missed heartbeats in ``nodes/``), it first raises that node's fence
+(``fences/<node>.json``, a persisted epoch floor) and only then
+requeues the node's claims. A zombie that wakes later re-checks its
+fence before publishing: a lease epoch at or below the floor means the
+work was revoked — the store attempt is rejected, counted, and logged,
+never published. The fence file outlives the zombie's nap, so the
+check cannot race with its own revocation.
+
+Completion is a ``done/<task>.json`` marker written *after* the fenced
+store publish. A node that dies between publish and marker wastes
+nothing: the replacement claims the task, finds the store entry, and
+marks done without re-executing (effectively exactly-once). Poison
+cells — tasks that keep killing whichever node runs them — burn a
+global requeue budget tracked by the coordinator and are quarantined
+into the store as ``quarantined-poison``, exactly like PR 7's
+single-node budget.
+
+The coordinator (:class:`Coordinator`) is deliberately *one more
+supervisor over the queue*, not a privileged master: it runs its own
+in-process :class:`~repro.experiments.nodeagent.NodeAgent` (so a build
+with zero peers degrades gracefully to the PR 7 single-node shape),
+collects done markers in plan order, and owns only the jobs that need
+a single writer — fencing, requeueing, quarantine, and the final
+sweep that leaves no queue/heartbeat/shm artifacts behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro._util.errors import ValidationError
+from repro.experiments.config import GraphSpec, PlannedRun, Profile
+from repro.experiments.failures import RunFailure, full_jitter_backoff
+
+#: Queue layout version; bumped on incompatible manifest changes.
+QUEUE_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+COMPLETE_FILENAME = "complete.json"
+TASKS_DIRNAME = "tasks"
+CLAIMS_DIRNAME = "claims"
+DONE_DIRNAME = "done"
+NODES_DIRNAME = "nodes"
+FENCES_DIRNAME = "fences"
+WORK_DIRNAME = "work"
+
+#: Hex digits of the content hash appended to every task id.
+_TASK_DIGEST_LEN = 12
+
+#: Default global requeue budget per task (node deaths / partitions)
+#: before the coordinator quarantines the cell as poison.
+DEFAULT_MAX_TASK_REQUEUES = 3
+
+
+def _sanitize(text: str) -> str:
+    """Filesystem-safe token: alnum plus ``-_.=`` (no ``@``, which the
+    claim filename uses as its field separator)."""
+    return "".join(c if c.isalnum() or c in "-_.=" else "_" for c in text)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    # Deliberately no mkdir: once the coordinator sweeps the queue,
+    # late writes (a waking zombie's beat or marker) must fail instead
+    # of resurrecting the directory tree as orphan litter.
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _read_json(path: Path) -> "dict | None":
+    """Parse one JSON file; None when absent, torn, or not an object
+    (a torn file means a writer died mid-stage — the atomic-replace
+    discipline keeps the published generation whole)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+# ----------------------------------------------------------------------
+# Task records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskRecord:
+    """One corpus cell as a durable, content-addressed queue entry.
+
+    The id is the sanitized cell key plus a hash of the canonical
+    record JSON — readable enough that sorting pending ids groups
+    same-graph cells (preserving graph-affinity scheduling across
+    nodes), collision-proof because of the digest suffix.
+    """
+
+    cell_key: str
+    algorithm: str
+    spec: GraphSpec
+
+    @property
+    def task_id(self) -> str:
+        digest = hashlib.blake2b(
+            json.dumps(self._payload(), sort_keys=True).encode("utf-8"),
+            digest_size=8).hexdigest()[:_TASK_DIGEST_LEN]
+        return f"{_sanitize(self.cell_key)}-{digest}"
+
+    @property
+    def planned(self) -> PlannedRun:
+        return PlannedRun(self.algorithm, self.spec)
+
+    def _payload(self) -> dict:
+        return {
+            "cell_key": self.cell_key,
+            "algorithm": self.algorithm,
+            "spec": dataclasses.asdict(self.spec),
+        }
+
+    def to_dict(self) -> dict:
+        return {"version": QUEUE_VERSION, **self._payload()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskRecord":
+        spec = data.get("spec")
+        if not isinstance(spec, dict):
+            raise ValidationError("task record has no spec")
+        return cls(
+            cell_key=str(data["cell_key"]),
+            algorithm=str(data["algorithm"]),
+            spec=GraphSpec(
+                domain=str(spec["domain"]),
+                nedges=(None if spec.get("nedges") is None
+                        else int(spec["nedges"])),
+                alpha=(None if spec.get("alpha") is None
+                       else float(spec["alpha"])),
+                nrows=(None if spec.get("nrows") is None
+                       else int(spec["nrows"])),
+                seed=int(spec.get("seed", 0)),
+            ),
+        )
+
+    @classmethod
+    def for_planned(cls, planned: PlannedRun,
+                    profile: Profile) -> "TaskRecord":
+        from repro.experiments.corpus import run_cache_key
+
+        return cls(cell_key=run_cache_key(planned, profile),
+                   algorithm=planned.algorithm, spec=planned.spec)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One outstanding lease, parsed back from its claim filename."""
+
+    task_id: str
+    node: str
+    epoch: int
+    path: Path
+
+    @property
+    def age_s(self) -> float:
+        try:
+            return max(0.0, time.time() - self.path.stat().st_mtime)
+        except OSError:
+            return 0.0
+
+
+@dataclass(frozen=True)
+class NodeBeat:
+    """One node agent's latest registry heartbeat."""
+
+    node: str
+    pid: int
+    ts: float
+    epoch: int
+    tasks: tuple
+    stale_rejections: int
+    segments: tuple
+    done: bool
+    host: str = ""
+
+    @property
+    def age_s(self) -> float:
+        return max(0.0, time.time() - self.ts)
+
+    def provably_dead(self) -> bool:
+        """True only when the beat's process can be *proven* gone: it
+        ran on this host and its pid no longer exists. Cross-host
+        beats are never provably dead — a partition looks identical."""
+        if not self.host or self.host != socket.gethostname():
+            return False
+        try:
+            os.kill(self.pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            return False
+        return False
+
+
+# ----------------------------------------------------------------------
+# Profile transport
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: Profile) -> dict:
+    return dataclasses.asdict(profile)
+
+
+def profile_from_dict(data: dict) -> Profile:
+    kwargs = dict(data)
+    for attr in ("ga_sizes", "cf_sizes", "matrix_rows", "grid_sides",
+                 "mrf_edges"):
+        kwargs[attr] = tuple(int(v) for v in kwargs[attr])
+    kwargs["alphas"] = tuple(float(v) for v in kwargs["alphas"])
+    return Profile(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The queue
+# ----------------------------------------------------------------------
+class DistributedQueue:
+    """Directory protocol shared by the coordinator and node agents.
+
+    Every mutation is a single atomic filesystem operation (rename or
+    tmp-stage + replace), so the protocol needs no locks and survives
+    any participant dying at any instruction boundary.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def tasks_dir(self) -> Path:
+        return self.root / TASKS_DIRNAME
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / CLAIMS_DIRNAME
+
+    @property
+    def done_dir(self) -> Path:
+        return self.root / DONE_DIRNAME
+
+    @property
+    def nodes_dir(self) -> Path:
+        return self.root / NODES_DIRNAME
+
+    @property
+    def fences_dir(self) -> Path:
+        return self.root / FENCES_DIRNAME
+
+    @property
+    def work_dir(self) -> Path:
+        return self.root / WORK_DIRNAME
+
+    def ensure_layout(self) -> None:
+        for sub in (self.tasks_dir, self.claims_dir, self.done_dir,
+                    self.nodes_dir, self.fences_dir, self.work_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    def node_workdir(self, node: str) -> Path:
+        """Per-node scratch (crew worksite) *inside* the queue root, so
+        a SIGKILLed node's heartbeat litter is removed by the final
+        sweep instead of leaking into the system tmpdir."""
+        return self.work_dir / _sanitize(node)
+
+    # -- manifest ------------------------------------------------------
+    def write_manifest(self, manifest: dict) -> None:
+        _write_json_atomic(self.root / MANIFEST_FILENAME,
+                           {"version": QUEUE_VERSION, **manifest})
+
+    def read_manifest(self) -> "dict | None":
+        data = _read_json(self.root / MANIFEST_FILENAME)
+        if data is None or int(data.get("version", 0)) != QUEUE_VERSION:
+            return None
+        return data
+
+    # -- tasks ---------------------------------------------------------
+    def _task_path(self, task_id: str) -> Path:
+        return self.tasks_dir / f"{task_id}.json"
+
+    def publish(self, record: TaskRecord) -> bool:
+        """Enqueue a task; False when it already exists anywhere in the
+        pipeline (pending, claimed, or done)."""
+        tid = record.task_id
+        if (self._task_path(tid).exists() or self.is_done(tid)
+                or any(c.task_id == tid for c in self.claims())):
+            return False
+        _write_json_atomic(self._task_path(tid), record.to_dict())
+        return True
+
+    def pending(self) -> "list[str]":
+        """Pending task ids, sorted — cell keys embed the graph spec,
+        so lexicographic order is graph-affinity order."""
+        try:
+            names = [p.stem for p in self.tasks_dir.glob("*.json")]
+        except OSError:
+            return []
+        return sorted(names)
+
+    def read_task(self, task_id: str) -> "TaskRecord | None":
+        data = _read_json(self._task_path(task_id))
+        if data is None:
+            return None
+        try:
+            return TaskRecord.from_dict(data)
+        except (KeyError, TypeError, ValueError, ValidationError):
+            return None
+
+    # -- claims --------------------------------------------------------
+    def _claim_path(self, task_id: str, node: str, epoch: int) -> Path:
+        return self.claims_dir / f"{task_id}@{_sanitize(node)}@{int(epoch)}.json"
+
+    def claim(self, task_id: str, node: str,
+              epoch: int) -> "TaskRecord | None":
+        """Atomically take ownership of a pending task.
+
+        The rename is the entire mutual-exclusion protocol: exactly one
+        of any number of concurrent claimants wins; everyone else gets
+        None (the source path is gone) and moves on.
+        """
+        dest = self._claim_path(task_id, node, epoch)
+        try:
+            os.replace(self._task_path(task_id), dest)
+        except FileNotFoundError:
+            return None
+        data = _read_json(dest)
+        if data is None:
+            return None
+        try:
+            return TaskRecord.from_dict(data)
+        except (KeyError, TypeError, ValueError, ValidationError):
+            return None
+
+    def claims(self) -> "list[Claim]":
+        out: "list[Claim]" = []
+        try:
+            paths = list(self.claims_dir.glob("*.json"))
+        except OSError:
+            return out
+        for path in paths:
+            parts = path.stem.rsplit("@", 2)
+            if len(parts) != 3:
+                continue
+            tid, node, epoch = parts
+            try:
+                out.append(Claim(tid, node, int(epoch), path))
+            except ValueError:
+                continue
+        return sorted(out, key=lambda c: (c.task_id, c.node, c.epoch))
+
+    def release(self, claim: Claim) -> bool:
+        """Put a claimed task back into ``tasks/`` (voluntary release
+        by its owner, or a coordinator requeue after fencing). False
+        when the claim vanished first — the owner completed it, or a
+        concurrent requeue won."""
+        try:
+            os.replace(claim.path, self._task_path(claim.task_id))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def drop_claim(self, claim: Claim) -> None:
+        claim.path.unlink(missing_ok=True)
+
+    # -- fences --------------------------------------------------------
+    def _fence_path(self, node: str) -> Path:
+        return self.fences_dir / f"{_sanitize(node)}.json"
+
+    def fence_epoch(self, node: str) -> int:
+        data = _read_json(self._fence_path(node))
+        if data is None:
+            return 0
+        try:
+            return int(data.get("epoch", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def raise_fence(self, node: str, epoch: int) -> int:
+        """Persist ``epoch`` as the node's revocation floor (monotonic:
+        an older concurrent write can only be superseded, never lower
+        the floor). Every lease of that node with epoch <= floor is
+        dead; the zombie's later publish attempt must check this."""
+        floor = max(self.fence_epoch(node), int(epoch))
+        _write_json_atomic(self._fence_path(node),
+                           {"node": node, "epoch": floor, "ts": time.time()})
+        return floor
+
+    def check_fence(self, node: str, epoch: int) -> bool:
+        """True when a lease epoch is still live (above the floor).
+
+        A missing ``fences/`` directory means the queue was never laid
+        out or has already been swept — either way no lease taken from
+        it can still be valid, so the check fails closed. Without this
+        a zombie sleeping past the *entire build* would wake to find
+        its fence file gone and read the empty floor as permission."""
+        if not self.fences_dir.is_dir():
+            return False
+        return int(epoch) > self.fence_epoch(node)
+
+    # -- done markers --------------------------------------------------
+    def _done_path(self, task_id: str) -> Path:
+        return self.done_dir / f"{task_id}.json"
+
+    def mark_done(self, task_id: str, payload: dict) -> None:
+        """Publish the completion marker. Last-writer-wins is safe:
+        duplicate completers recorded the same store bytes, so the
+        markers differ only in who signed them."""
+        _write_json_atomic(self._done_path(task_id),
+                           {"task_id": task_id, "ts": time.time(),
+                            **payload})
+
+    def is_done(self, task_id: str) -> bool:
+        return self._done_path(task_id).exists()
+
+    def read_done(self, task_id: str) -> "dict | None":
+        return _read_json(self._done_path(task_id))
+
+    def drop_done(self, task_id: str) -> None:
+        self._done_path(task_id).unlink(missing_ok=True)
+
+    # -- node registry -------------------------------------------------
+    def write_beat(self, node: str, payload: dict) -> None:
+        _write_json_atomic(self.nodes_dir / f"{_sanitize(node)}.json",
+                           {"node": node, "pid": os.getpid(),
+                            "host": socket.gethostname(),
+                            "ts": time.time(), **payload})
+
+    def read_beats(self) -> "dict[str, NodeBeat]":
+        beats: "dict[str, NodeBeat]" = {}
+        try:
+            paths = list(self.nodes_dir.glob("*.json"))
+        except OSError:
+            return beats
+        for path in paths:
+            data = _read_json(path)
+            if data is None:
+                continue
+            try:
+                beat = NodeBeat(
+                    node=str(data["node"]), pid=int(data["pid"]),
+                    ts=float(data["ts"]),
+                    epoch=int(data.get("epoch", 0)),
+                    tasks=tuple(data.get("tasks", ())),
+                    stale_rejections=int(data.get("stale_rejections", 0)),
+                    segments=tuple(data.get("segments", ())),
+                    done=bool(data.get("done", False)),
+                    host=str(data.get("host", "")))
+            except (KeyError, TypeError, ValueError):
+                continue
+            beats[beat.node] = beat
+        return beats
+
+    def drop_beat(self, node: str) -> None:
+        (self.nodes_dir / f"{_sanitize(node)}.json").unlink(missing_ok=True)
+
+    # -- completion + sweep --------------------------------------------
+    def mark_complete(self) -> None:
+        _write_json_atomic(self.root / COMPLETE_FILENAME,
+                           {"ts": time.time()})
+
+    def complete(self) -> bool:
+        return (self.root / COMPLETE_FILENAME).exists()
+
+    def sweep(self) -> int:
+        """Remove every queue artifact and the root itself; returns the
+        number of files that could not be removed (0 = clean exit with
+        no orphan queue/heartbeat artifacts)."""
+        leftovers = 0
+        for sub in (self.work_dir, self.tasks_dir, self.claims_dir,
+                    self.done_dir, self.nodes_dir, self.fences_dir):
+            if not sub.exists():
+                continue
+            for path in sorted(sub.rglob("*"), reverse=True):
+                try:
+                    if path.is_dir():
+                        path.rmdir()
+                    else:
+                        path.unlink()
+                except OSError:
+                    leftovers += 1
+            try:
+                sub.rmdir()
+            except OSError:
+                leftovers += 1
+        for name in (MANIFEST_FILENAME, COMPLETE_FILENAME):
+            try:
+                (self.root / name).unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                leftovers += 1
+        try:
+            self.root.rmdir()
+        except OSError:
+            leftovers += 1
+        return leftovers
+
+
+# ----------------------------------------------------------------------
+# Fence-checked publication (shared by agents and the coordinator)
+# ----------------------------------------------------------------------
+def publish_result(queue: DistributedQueue, store: Any, node: str,
+                   epoch: int, record: TaskRecord, run: Any, *,
+                   source: str = "run") -> bool:
+    """Publish one executed cell's outcome, gated by the node's fence.
+
+    Returns True when the result was stored and the done marker
+    written; False when the lease epoch was at or below the node's
+    fence — the work was revoked while we held it, so the store
+    attempt is rejected (counted and logged by the caller) and the
+    replacement's outcome stands instead.
+
+    The order matters: fence check, then store publish, then marker.
+    A death after the store publish but before the marker wastes
+    nothing — the replacement finds the store entry and marks done
+    without re-executing.
+    """
+    if not queue.check_fence(node, epoch):
+        return False
+    status = "ok"
+    if run.trace is not None:
+        store.save(record.cell_key, run.trace)
+        if run.trace.degraded:
+            status = "degraded"
+    else:
+        store.save_failure(record.cell_key, run.failure)
+        status = "failed"
+    queue.mark_done(record.task_id, {
+        "status": status, "node": node, "epoch": int(epoch),
+        "source": source,
+        "failure_kind": None if run.failure is None else run.failure.kind,
+    })
+    return True
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class _TaskState:
+    """Coordinator-side requeue bookkeeping for one task."""
+
+    record: TaskRecord
+    requeues: int = 0
+    not_before: float = 0.0
+    pending_claim: "Claim | None" = None
+
+
+class Coordinator:
+    """Supervises one distributed build over the shared queue.
+
+    Runs its own in-process node agent (so zero peers degrade to the
+    PR 7 single-node shape), detects dead or partitioned nodes by
+    heartbeat age, fences them *before* requeueing their claims (the
+    fencing order is what makes a woken zombie harmless), re-dispatches
+    revoked leases with full-jitter backoff, quarantines poison cells
+    globally, and collects done markers into the corpus in plan order
+    so ``vectors()`` is bit-identical with an inline build.
+    """
+
+    def __init__(self, *, queue: DistributedQueue, plan: list,
+                 profile: Profile, store: Any, corpus: Any,
+                 manifest: dict, node_workers: int,
+                 node_lease_timeout_s: float = 15.0,
+                 poll_s: float = 0.05,
+                 max_task_requeues: int = DEFAULT_MAX_TASK_REQUEUES,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 peer_exit_grace_s: float = 10.0,
+                 progress: "Callable | None" = None,
+                 stop_requested: "Callable | None" = None) -> None:
+        from repro.obs.telemetry import get_telemetry
+
+        self.queue = queue
+        self.plan = plan
+        self.profile = profile
+        self.store = store
+        self.corpus = corpus
+        self.manifest = manifest
+        self.node_workers = max(1, int(node_workers))
+        self.node_lease_timeout_s = float(node_lease_timeout_s)
+        self.poll_s = float(poll_s)
+        self.max_task_requeues = max(1, int(max_task_requeues))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.peer_exit_grace_s = float(peer_exit_grace_s)
+        self.progress = progress
+        self._stop = stop_requested or (lambda: False)
+        self.tel = get_telemetry()
+        self.local_node = "coordinator"
+        self._tasks: "dict[str, _TaskState]" = {}
+        self._records: "list[TaskRecord]" = []
+        self._collect_ptr = 0
+        self._lost_nodes: "set[str]" = set()
+        self._peer_stale: "dict[str, int]" = {}
+        self._peer_segments: "dict[str, tuple]" = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        from repro.experiments.nodeagent import NodeAgent
+
+        self.queue.ensure_layout()
+        self.queue.write_manifest(self.manifest)
+        self._enqueue_plan()
+        agent = NodeAgent(self.queue, workers=self.node_workers,
+                          manifest=self.manifest, embedded=True)
+        self.local_node = agent.node
+        agent.start()
+        self.corpus.distributed = True
+        interrupted = False
+        try:
+            while self._collect_ptr < len(self.plan):
+                if self._stop():
+                    interrupted = True
+                    break
+                now = time.time()
+                agent.tick()
+                self._supervise(now)
+                self._collect()
+                if self._collect_ptr >= len(self.plan):
+                    break
+                time.sleep(self.poll_s)
+        finally:
+            self.queue.mark_complete()
+            agent.shutdown()
+            self._harvest_beats(final=True)
+            self._wait_for_peers()
+            self._reap_lost_segments()
+            if interrupted:
+                self.corpus.interrupted = True
+            leftovers = self.queue.sweep()
+            self.corpus.queue_leftovers = leftovers
+            if self.tel.enabled:
+                self.tel.emit("distqueue", action="swept",
+                              leftovers=leftovers)
+
+    # ------------------------------------------------------------------
+    def _enqueue_plan(self) -> None:
+        """Publish one task per cell that is not already satisfied by
+        the shared store (mirroring the inline cache-replay rules)."""
+        resume = bool(self.manifest.get("resume"))
+        for planned in self.plan:
+            record = TaskRecord.for_planned(planned, self.profile)
+            self._records.append(record)
+            self._tasks[record.task_id] = _TaskState(record)
+            if self._satisfied_from_store(record.cell_key, resume):
+                continue
+            self.queue.publish(record)
+
+    def _satisfied_from_store(self, cell_key: str, resume: bool) -> bool:
+        if not self.store.contains(cell_key):
+            return False
+        if self.store.load(cell_key) is not None:
+            return True
+        prior = self.store.load_failure(cell_key)
+        if prior is None:
+            return False
+        return not (resume and prior.retryable)
+
+    # ------------------------------------------------------------------
+    # Node supervision: fencing, requeue, quarantine
+    # ------------------------------------------------------------------
+    def _supervise(self, now: float) -> None:
+        self._harvest_beats()
+        beats = self.queue.read_beats()
+        by_node: "dict[str, list[Claim]]" = {}
+        for claim in self.queue.claims():
+            by_node.setdefault(claim.node, []).append(claim)
+        for node, node_claims in by_node.items():
+            if node == self.local_node:
+                continue  # the embedded agent supervises its own crew
+            beat = beats.get(node)
+            fresh = (beat is not None and not beat.done
+                     and beat.age_s <= self.node_lease_timeout_s)
+            if fresh:
+                if node in self._lost_nodes:
+                    # The partition healed: the node beats again, and
+                    # having re-read its fence it claims with live
+                    # epochs — only its pre-fence leases stay revoked.
+                    self._lost_nodes.discard(node)
+                    if self.tel.enabled:
+                        self.tel.emit("distqueue",
+                                      action="node-recovered", node=node)
+                continue
+            if beat is None and any(
+                    c.age_s <= self.node_lease_timeout_s
+                    for c in node_claims):
+                # Claimed but never beat: a node that just arrived, or
+                # one that died on arrival — claim age decides which.
+                continue
+            floor = self.queue.fence_epoch(node)
+            if node not in self._lost_nodes or any(
+                    c.epoch > floor for c in node_claims):
+                # First loss, or a recovered node lost *again* (its
+                # post-recovery claims sit above the old fence): fence
+                # at the node's newest epoch before touching claims.
+                self._declare_lost(node, node_claims, beat, now)
+                floor = self.queue.fence_epoch(node)
+            self._revoke_node(
+                node, [c for c in node_claims if c.epoch <= floor],
+                now, reason="node-lost")
+        self._drain_requeues(now)
+
+    def _declare_lost(self, node: str, node_claims: "list[Claim]",
+                      beat: "NodeBeat | None", now: float) -> None:
+        """Fence first, then revoke: after the fence write any publish
+        attempt from the node's old epochs is rejected, so requeueing
+        its claims can never race a zombie completion."""
+        epochs = [c.epoch for c in node_claims]
+        if beat is not None:
+            epochs.append(beat.epoch)
+            self._peer_segments[node] = beat.segments
+        floor = self.queue.raise_fence(node, max(epochs, default=0))
+        self._lost_nodes.add(node)
+        self.corpus.nodes_lost += 1
+        if self.tel.enabled:
+            self.tel.inc("distqueue_nodes_lost_total")
+            self.tel.emit("distqueue", action="node-lost", node=node,
+                          fence_epoch=floor, claims=len(node_claims))
+
+    def _revoke_node(self, node: str, node_claims: "list[Claim]",
+                     now: float, reason: str) -> None:
+        for claim in node_claims:
+            state = self._tasks.get(claim.task_id)
+            if state is None or state.pending_claim is not None:
+                continue
+            if self.queue.is_done(claim.task_id):
+                # Completed before the fence landed; the claim file is
+                # litter now.
+                self.queue.drop_claim(claim)
+                continue
+            state.requeues += 1
+            self.corpus.lease_expiries += 1
+            if state.requeues >= self.max_task_requeues:
+                self._quarantine(state, claim, reason)
+                continue
+            backoff = full_jitter_backoff(
+                self.backoff_base_s, state.requeues, key=claim.task_id,
+                cap_s=self.backoff_cap_s)
+            state.pending_claim = claim
+            state.not_before = now + backoff
+            if self.tel.enabled:
+                self.tel.inc("distqueue_requeues_total", node=node)
+                self.tel.emit("distqueue", action="lease-revoked",
+                              task=claim.task_id, node=node,
+                              epoch=claim.epoch, reason=reason,
+                              backoff_s=backoff,
+                              requeues=state.requeues)
+
+    def _drain_requeues(self, now: float) -> None:
+        for state in self._tasks.values():
+            claim = state.pending_claim
+            if claim is None or state.not_before > now:
+                continue
+            state.pending_claim = None
+            if self.queue.is_done(claim.task_id):
+                self.queue.drop_claim(claim)
+                continue
+            if self.queue.release(claim):
+                self.corpus.queue_requeues += 1
+                if self.tel.enabled:
+                    self.tel.emit("distqueue", action="requeued",
+                                  task=claim.task_id, node=claim.node)
+
+    def _quarantine(self, state: _TaskState, claim: Claim,
+                    reason: str) -> None:
+        """Global poison verdict: persisted through the shared store so
+        every node (and every future resumed build) replays it."""
+        failure = RunFailure(
+            kind="quarantined-poison",
+            message=(f"quarantined after {state.requeues} revoked "
+                     f"node leases (last: {reason}) — this cell takes "
+                     f"down every node that claims it"),
+            attempts=state.requeues)
+        self.store.save_failure(state.record.cell_key, failure)
+        self.queue.mark_done(state.record.task_id, {
+            "status": "quarantined", "node": claim.node,
+            "epoch": claim.epoch, "source": "run",
+            "failure_kind": failure.kind})
+        self.queue.drop_claim(claim)
+        if self.tel.enabled:
+            self.tel.inc("distqueue_quarantined_total")
+            self.tel.emit("distqueue", action="quarantined",
+                          task=state.record.task_id, node=claim.node,
+                          requeues=state.requeues)
+
+    # ------------------------------------------------------------------
+    # Collection (plan order)
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        from repro.experiments.corpus import format_progress, progress_event
+
+        total = len(self.plan)
+        while self._collect_ptr < total:
+            record = self._records[self._collect_ptr]
+            run = self._resolve(record)
+            if run is None:
+                break
+            if run.obs_snapshot is not None:
+                self.tel.merge_snapshot(run.obs_snapshot)
+                run.obs_snapshot = None
+            if run.ok:
+                self.corpus.runs.append(run)
+            else:
+                self.corpus.failures.append(run)
+            self._collect_ptr += 1
+            event = progress_event(run, self._collect_ptr, total)
+            self.tel.emit("progress", **event)
+            if self.progress is not None:
+                self.progress(format_progress(event))
+
+    def _resolve(self, record: TaskRecord):
+        """One cell's outcome, or None when still in flight."""
+        from repro.behavior.metrics import compute_metrics
+        from repro.experiments.corpus import CorpusRun
+
+        marker = self.queue.read_done(record.task_id)
+        source = "cache"
+        if marker is not None:
+            if not self._marker_live(record, marker):
+                return None
+            source = str(marker.get("source", "run"))
+        elif not self._satisfied_from_store(
+                record.cell_key, bool(self.manifest.get("resume"))):
+            return None
+        trace = self.store.load(record.cell_key)
+        if trace is not None:
+            return CorpusRun(record.algorithm, record.spec, trace,
+                             compute_metrics(trace), source=source)
+        failure = self.store.load_failure(record.cell_key)
+        if failure is not None:
+            return CorpusRun(record.algorithm, record.spec, None, None,
+                             failure=failure, source=source)
+        # Marked done but the store lost the entry (quarantined as
+        # corrupt): drop the marker and re-enqueue the cell.
+        if marker is not None:
+            self.queue.drop_done(record.task_id)
+            self.queue.publish(record)
+        return None
+
+    def _marker_live(self, record: TaskRecord, marker: dict) -> bool:
+        """Reject a done marker signed with a fenced epoch.
+
+        Node agents check their fence before publishing, so this only
+        fires in the razor-thin window where a marker lands while the
+        fence write is in flight; the store bytes it points at may be
+        from a revoked attempt, so the coordinator refuses it, counts
+        it, and re-enqueues the cell. A chaos run asserts this counter
+        stays zero — the cooperative fence check catches everything.
+        """
+        node = str(marker.get("node", ""))
+        try:
+            epoch = int(marker.get("epoch", 0))
+        except (TypeError, ValueError):
+            epoch = 0
+        if (node in ("", self.local_node)
+                or marker.get("status") == "quarantined"):
+            return True
+        if self.queue.check_fence(node, epoch):
+            return True
+        self.corpus.stale_done_markers += 1
+        if self.tel.enabled:
+            self.tel.inc("distqueue_stale_done_markers_total", node=node)
+            self.tel.emit("distqueue", action="stale-done-rejected",
+                          task=record.task_id, node=node, epoch=epoch)
+        self.queue.drop_done(record.task_id)
+        self.store.discard(record.cell_key)
+        self.queue.publish(record)
+        return False
+
+    # ------------------------------------------------------------------
+    # Peer accounting + shutdown hygiene
+    # ------------------------------------------------------------------
+    def _harvest_beats(self, final: bool = False) -> "dict[str, NodeBeat]":
+        beats = self.queue.read_beats()
+        nodes_seen = set(self._peer_stale)
+        for node, beat in beats.items():
+            nodes_seen.add(node)
+            self._peer_stale[node] = max(
+                self._peer_stale.get(node, 0), beat.stale_rejections)
+            if beat.segments:
+                self._peer_segments[node] = beat.segments
+        self.corpus.nodes_seen = max(self.corpus.nodes_seen,
+                                     len(nodes_seen))
+        self.corpus.stale_epoch_rejections = sum(
+            self._peer_stale.values())
+        return beats
+
+    def _wait_for_peers(self) -> None:
+        """Hold the queue (and its fences) open until every registered
+        peer has either written its final ``done`` beat or is provably
+        dead, bounded by the grace period.
+
+        The silent-but-not-done case matters: a node frozen past its
+        lease is already fenced, but tearing the fence files down
+        before it wakes would let its stale publish through unchecked.
+        Cross-host silence is indistinguishable from a partition, so
+        those peers simply cost the full grace period."""
+        deadline = time.monotonic() + self.peer_exit_grace_s
+        while True:
+            pending = [b for b in self._harvest_beats().values()
+                       if not b.done and not b.provably_dead()]
+            if not pending or time.monotonic() >= deadline:
+                return
+            time.sleep(min(0.1, self.poll_s * 2))
+
+    def _reap_lost_segments(self) -> None:
+        """Unlink shared-memory segments published by nodes that died.
+
+        ``GraphPlane`` cleans up via atexit, which a SIGKILL skips; the
+        node's beats carried its segment names precisely so the
+        coordinator can sweep them and leave no shm orphans.
+        """
+        from repro.graph import shm
+
+        beats = self.queue.read_beats()
+        for node, segments in self._peer_segments.items():
+            beat = beats.get(node)
+            if beat is not None and beat.done and node not in self._lost_nodes:
+                continue  # clean exit unlinked its own segments
+            for name in segments:
+                if shm.unlink_segment(name) and self.tel.enabled:
+                    self.tel.inc("distqueue_segments_reaped_total")
+                    self.tel.emit("distqueue", action="segment-reaped",
+                                  node=node, segment=name)

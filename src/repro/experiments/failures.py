@@ -51,14 +51,24 @@ corpora. Every failed cell is therefore recorded as a
     retrying forever — the signature of a poison cell that kills or
     hangs whatever worker touches it. Never retried, always
     *unexpected* (nonzero CLI exit).
+``disk-io``
+    A transient I/O fault (``EIO``, ``ENOSPC``, ``ESTALE``) while
+    publishing to the result or snapshot store — the classic NFS /
+    full-scratch-volume hiccup of multi-node builds on a shared
+    filesystem. Retryable with bounded jittered retries at the publish
+    site (:func:`retry_transient_disk`); the errno name is preserved in
+    the message so operators can tell a flaky mount from a full disk.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import hashlib
 import random
+import time
 import traceback as _traceback
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro._util.errors import (
     CacheCorruptError,
@@ -73,8 +83,15 @@ from repro._util.errors import (
 #: Every legal failure kind, in severity order.
 FAILURE_KINDS: tuple[str, ...] = (
     "memory", "timeout", "numeric", "nonconvergence", "crash",
-    "cache-corrupt", "lease-expired", "quarantined-poison",
+    "cache-corrupt", "lease-expired", "quarantined-poison", "disk-io",
 )
+
+#: OSError errnos treated as transient disk faults. EIO and ESTALE are
+#: the flaky-mount signatures; ENOSPC is retryable because quarantine
+#: sweeps and log rotation free space concurrently with a build.
+TRANSIENT_DISK_ERRNOS: frozenset = frozenset({
+    _errno.EIO, _errno.ENOSPC, _errno.ESTALE,
+})
 
 #: Kinds worth retrying (possibly transient). ``memory`` is excluded:
 #: the budget check is deterministic, so re-running cannot succeed.
@@ -83,7 +100,7 @@ FAILURE_KINDS: tuple[str, ...] = (
 #: identically on retry. ``quarantined-poison`` is the *decision* to
 #: stop retrying, so by construction it is not retryable.
 RETRYABLE_KINDS: frozenset = frozenset({"timeout", "crash", "cache-corrupt",
-                                        "lease-expired"})
+                                        "lease-expired", "disk-io"})
 
 #: Kinds that are part of the reproduced experiment rather than harness
 #: faults; builds containing only these still exit 0.
@@ -127,7 +144,44 @@ def classify_exception(exc: BaseException) -> str:
         return "nonconvergence"
     if isinstance(exc, CacheCorruptError):
         return "cache-corrupt"
+    if (isinstance(exc, OSError)
+            and exc.errno in TRANSIENT_DISK_ERRNOS):
+        return "disk-io"
     return "crash"
+
+
+def retry_transient_disk(fn: "Callable[[], Any]", *, key: str,
+                         retries: int = 3, base_s: float = 0.02,
+                         cap_s: float = 0.5,
+                         sleep: "Callable[[float], None]" = time.sleep,
+                         on_retry: "Callable | None" = None) -> Any:
+    """Run ``fn`` with bounded jittered retries on transient disk I/O.
+
+    Only :class:`OSError` with an errno in :data:`TRANSIENT_DISK_ERRNOS`
+    is retried; anything else propagates immediately. After the retry
+    budget is spent the last error propagates and the caller's normal
+    failure path classifies it as ``disk-io`` (retryable at the cell
+    level), with the errno preserved in the message. ``on_retry`` is
+    called as ``on_retry(exc, attempt, delay_s)`` before each sleep so
+    publish sites can count/emit without this module importing
+    telemetry.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except OSError as exc:
+            if exc.errno not in TRANSIENT_DISK_ERRNOS:
+                raise
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = full_jitter_backoff(base_s, attempt,
+                                        key=f"disk:{key}", cap_s=cap_s)
+            if on_retry is not None:
+                on_retry(exc, attempt, delay)
+            if delay > 0:
+                sleep(delay)
 
 
 @dataclass(frozen=True)
@@ -153,9 +207,15 @@ class RunFailure:
     def from_exception(cls, exc: BaseException, *,
                        attempts: int = 1) -> "RunFailure":
         """Classify ``exc`` and capture its traceback."""
+        kind = classify_exception(exc)
+        message = str(exc) or type(exc).__name__
+        if kind == "disk-io":
+            code = _errno.errorcode.get(
+                getattr(exc, "errno", -1), str(getattr(exc, "errno", "?")))
+            message = f"errno={code}: {message}"
         return cls(
-            kind=classify_exception(exc),
-            message=str(exc) or type(exc).__name__,
+            kind=kind,
+            message=message,
             traceback="".join(_traceback.format_exception(exc)),
             attempts=attempts,
         )

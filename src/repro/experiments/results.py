@@ -37,7 +37,7 @@ from pathlib import Path
 
 from repro._util.errors import CacheCorruptError, ValidationError
 from repro.behavior.trace import RunTrace
-from repro.experiments.failures import RunFailure
+from repro.experiments.failures import RunFailure, retry_transient_disk
 
 #: Environment variable overriding the cache directory.
 CACHE_ENV = "REPRO_CACHE_DIR"
@@ -99,17 +99,35 @@ class ResultStore:
         same key never share a staging file (the old shared
         ``path.with_suffix(".tmp")`` let two processes tear each
         other's half-written bytes); ``os.replace`` keeps the publish
-        atomic on POSIX and Windows.
+        atomic on POSIX and Windows. Transient disk faults (EIO,
+        ENOSPC, ESTALE — shared-filesystem hiccups under multi-node
+        builds) get bounded jittered retries before the error escapes
+        to be recorded as a ``disk-io`` cell failure.
         """
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(
-            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            tmp.write_text(text, encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # publish failed; don't leave litter
-                tmp.unlink(missing_ok=True)
+        def publish() -> None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+            try:
+                tmp.write_text(text, encoding="utf-8")
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():  # publish failed; don't leave litter
+                    tmp.unlink(missing_ok=True)
+
+        retry_transient_disk(publish, key=path.name,
+                             on_retry=self._count_disk_retry)
+
+    @staticmethod
+    def _count_disk_retry(exc: OSError, attempt: int,
+                          delay_s: float) -> None:
+        from repro.obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("store_disk_retries_total")
+            tel.emit("store", action="disk-retry", errno=exc.errno,
+                     attempt=attempt, backoff_s=delay_s)
 
     def quarantine(self, path: Path) -> "Path | None":
         """Move a corrupt entry into the quarantine directory.

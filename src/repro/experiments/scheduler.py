@@ -346,22 +346,75 @@ class CircuitBreaker:
 
     Infra failures are lease expiries and worker deaths; task-level
     failures (a cell that crashes deterministically) never count —
-    they are the corpus's problem, not the crew's. The breaker looks
-    at a sliding window of outcomes and opens once there are enough
-    events to judge and the failure fraction crosses the threshold;
-    the supervisor then stops trusting workers entirely and degrades
-    to inline single-process execution.
+    they are the corpus's problem, not the crew's.
+
+    Explicit three-state machine:
+
+    ``closed``
+        Normal operation. Outcomes feed a sliding window; once there
+        are enough events to judge and the failure fraction crosses
+        the threshold, the breaker **trips** (latches open) — unlike
+        the old live-computed window, successes arriving later cannot
+        silently flip it back while the supervisor is mid-degrade.
+    ``open``
+        The supervisor stops trusting workers and executes inline.
+        Outcomes recorded here are ignored: they come from dispatches
+        made before the trip. After ``cooldown_s``, :meth:`probe_due`
+        moves to half-open.
+    ``half-open``
+        One supervised *probe* dispatch is in flight. Its success
+        closes the breaker (crew re-trusted, window reset); an infra
+        failure re-trips it for another full cooldown.
     """
 
     def __init__(self, *, window: int = 16, min_events: int = 4,
-                 threshold: float = 0.5) -> None:
+                 threshold: float = 0.5,
+                 cooldown_s: float = 30.0) -> None:
         self.window = window
         self.min_events = min_events
         self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.opened_at = 0.0
+        self.trips = 0
         self._outcomes: deque = deque(maxlen=window)
 
-    def record(self, infra_failure: bool) -> None:
+    def record(self, infra_failure: bool, now: float = 0.0) -> None:
+        if self.state == "half-open":
+            # The probe's verdict decides alone; the pre-trip window
+            # is stale evidence.
+            if infra_failure:
+                self._trip(now)
+            else:
+                self.close()
+            return
+        if self.state == "open":
+            return
         self._outcomes.append(bool(infra_failure))
+        n = sum(self._outcomes)
+        if (n >= self.min_events
+                and n / max(1, len(self._outcomes)) >= self.threshold):
+            self._trip(now)
+
+    def probe_due(self, now: float) -> bool:
+        """Transition open → half-open once the cooldown elapsed.
+        Returns True exactly when the transition happens — the caller
+        owns dispatching the single probe."""
+        if (self.state == "open"
+                and now - self.opened_at >= self.cooldown_s):
+            self.state = "half-open"
+            return True
+        return False
+
+    def close(self) -> None:
+        self.state = "closed"
+        self._outcomes.clear()
+
+    def _trip(self, now: float) -> None:
+        self.state = "open"
+        self.opened_at = now
+        self.trips += 1
+        self._outcomes.clear()
 
     @property
     def failures(self) -> int:
@@ -369,9 +422,8 @@ class CircuitBreaker:
 
     @property
     def open(self) -> bool:
-        n = sum(self._outcomes)
-        return (n >= self.min_events
-                and n / max(1, len(self._outcomes)) >= self.threshold)
+        """True while the crew is untrusted (open or half-open)."""
+        return self.state != "closed"
 
 
 @dataclass(frozen=True)
@@ -387,6 +439,7 @@ class SchedulerConfig:
     breaker_window: int = 16
     breaker_min_events: int = 4
     breaker_threshold: float = 0.5
+    breaker_cooldown_s: float = 30.0
     poll_s: float = 0.05
 
 
@@ -423,7 +476,12 @@ class Supervisor:
         self.breaker = CircuitBreaker(
             window=self.config.breaker_window,
             min_events=self.config.breaker_min_events,
-            threshold=self.config.breaker_threshold)
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s)
+        #: Task id of the single half-open trial dispatch, if one is
+        #: in flight; its outcome alone moves the breaker.
+        self._probe_task: "str | None" = None
+        self._open_handled = False
         self.board = TaskBoard(
             lease_timeout_s=self.config.lease_timeout_s,
             max_lease_expiries=self.config.max_lease_expiries,
@@ -494,7 +552,6 @@ class Supervisor:
         crew = WorkerCrew(self.workers, site, self.ctx,
                           self.config.heartbeat_every_s)
         stopping = False
-        tripped = False
         polite = False
         try:
             while True:
@@ -510,13 +567,13 @@ class Supervisor:
                 for task, lease in self.board.expired_leases(now):
                     self._on_lease_expiry(crew, task, lease, now,
                                           stopping)
-                if self.breaker.open and not stopping:
-                    tripped = True
-                    break
                 if not stopping:
-                    self._dispatch_ready(crew, now)
-                    if self.config.speculative:
-                        self._maybe_speculate(crew, now)
+                    if self.breaker.open:
+                        self._degraded_tick(crew, now)
+                    else:
+                        self._dispatch_ready(crew, now)
+                        if self.config.speculative:
+                            self._maybe_speculate(crew, now)
                 self._check_premat_done()
                 if not stopping:
                     self._finalize_stores()
@@ -538,8 +595,6 @@ class Supervisor:
             self.corpus.lease_expiries = self.board.total_lease_expiries
             if stopping:
                 self.corpus.interrupted = True
-            if tripped:
-                self._run_inline_fallback()
             if self.plane is not None:
                 # After the crew is down no process can still be
                 # attached; unlink every published segment (also on
@@ -556,7 +611,7 @@ class Supervisor:
                 if handle.task_id is not None else None)
         lease = (task.find_lease(handle.worker) if task is not None
                  else None)
-        self.breaker.record(True)
+        self._record_outcome(crew, handle.task_id, True, now)
         if self.tel.enabled:
             self.tel.inc("scheduler_worker_deaths_total")
             self.tel.emit("scheduler", action="worker-died",
@@ -577,7 +632,7 @@ class Supervisor:
                                           reason="lease-expired")
         if outcome == "stale":
             return
-        self.breaker.record(True)
+        self._record_outcome(crew, task.id, True, now)
         if self.tel.enabled:
             self.tel.inc("scheduler_lease_expiries_total")
             self.tel.emit("scheduler", action="lease-expired",
@@ -596,7 +651,7 @@ class Supervisor:
 
     def _on_result(self, crew: WorkerCrew, envelope) -> None:
         crew.mark_idle(envelope.worker)
-        self.breaker.record(False)
+        self._record_outcome(crew, envelope.task_id, False, time.time())
         task = self.board.get(envelope.task_id)
         if task is None:
             return
@@ -755,53 +810,103 @@ class Supervisor:
             for t in self.board.leased())
 
     # ------------------------------------------------------------------
-    # Circuit-breaker fallback
+    # Circuit-breaker degradation (open → half-open probe → close)
     # ------------------------------------------------------------------
-    def _run_inline_fallback(self) -> None:
-        """The crew is unhealthy: finish the remaining cells inline, in
-        this process, where no lease can expire. Quarantined cells stay
-        quarantined — the breaker protects the build, not poison."""
+    def _record_outcome(self, crew: WorkerCrew, task_id: "str | None",
+                        infra_failure: bool, now: float) -> None:
+        """Feed the breaker. While it is open or half-open only the
+        probe dispatch counts as evidence — stray results and deaths
+        from pre-trip dispatches must not decide the crew's fate."""
+        if self.breaker.state == "closed":
+            self.breaker.record(infra_failure, now)
+            return
+        if task_id is None or task_id != self._probe_task:
+            return
+        self._probe_task = None
+        self.breaker.record(infra_failure, now)
+        if self.tel.enabled:
+            self.tel.emit("scheduler", action="probe-result",
+                          task=task_id, ok=not infra_failure,
+                          state=self.breaker.state)
+        if not self.breaker.open:
+            self._open_handled = False
+            self._on_breaker_close(crew)
+
+    def _on_breaker_close(self, crew: WorkerCrew) -> None:
+        """Probe succeeded: re-trust the crew and refill it."""
+        if self.tel.enabled:
+            self.tel.inc("scheduler_circuit_closes_total")
+            self.tel.emit("scheduler", action="circuit-close",
+                          trips=self.breaker.trips)
+        while len(crew.workers) < self.workers:
+            crew.spawn()
+
+    def _degraded_tick(self, crew: WorkerCrew, now: float) -> None:
+        """One loop iteration while the crew is untrusted: execute one
+        cell inline in this process (where no lease can expire), and
+        once the cooldown elapses trial a single supervised dispatch
+        instead of staying inline for the rest of the build.
+        Quarantined cells stay quarantined — the breaker protects the
+        build, not poison."""
+        if not self._open_handled:
+            self._open_handled = True
+            self.corpus.degraded_to_inline = True
+            # Pre-trip leases belong to workers we no longer trust;
+            # revoke them so their tasks are inline-executable (the
+            # poison budget charge matches worker-death semantics).
+            for task in self.board.leased():
+                for lease in list(task.leases):
+                    if lease.worker != SUPERVISOR_WORKER:
+                        self.board.revoke_lease(task, lease, now,
+                                                reason="circuit-open")
+            if self.tel.enabled:
+                self.tel.inc("scheduler_circuit_trips_total")
+                self.tel.emit("scheduler", action="circuit-open",
+                              trips=self.breaker.trips)
+        if self.breaker.probe_due(now):
+            self._dispatch_probe(crew, now)
+        self._inline_step(now)
+
+    def _dispatch_probe(self, crew: WorkerCrew, now: float) -> None:
+        candidates = [t for t in self.board.ready(now)
+                      if t.kind != "store"]
+        if not candidates:
+            # Nothing left to trial the crew on; the inline path
+            # finishes the tail and the breaker stays half-open.
+            return
+        idle = crew.idle_workers()
+        handle = idle.pop() if idle else crew.spawn()
+        task = candidates[0]
+        epoch = self.board.lease(task.id, handle.worker, now)
+        self._probe_task = task.id
+        crew.dispatch(handle, TaskEnvelope(
+            task.id, epoch, task.kind, self._payload_for(task)))
+        if self.tel.enabled:
+            self.tel.inc("scheduler_probes_total")
+            self.tel.emit("scheduler", action="half-open-probe",
+                          task=task.id, worker=handle.worker)
+
+    def _inline_step(self, now: float) -> None:
+        """Execute at most one ready task inline per tick, keeping the
+        loop responsive to probe results and stop requests."""
         from repro.experiments.corpus import _isolated_execute
 
-        self.corpus.degraded_to_inline = True
-        if self.tel.enabled:
-            self.tel.inc("scheduler_circuit_trips_total")
-            self.tel.emit("scheduler", action="circuit-open",
-                          failures=self.breaker.failures,
-                          window=len(self.breaker._outcomes))
-        now = time.time()
-        for task_id in self._mat_ids:
-            task = self.board.get(task_id)
-            if task.terminal:
+        for task in self.board.ready(now):
+            if task.kind == "store" or task.id == self._probe_task:
                 continue
-            for lease in list(task.leases):
-                self.board.revoke_lease(task, lease, now,
-                                        reason="circuit-open")
-            if not task.terminal:
-                self.board.lease(task.id, SUPERVISOR_WORKER, now)
+            self.board.lease(task.id, SUPERVISOR_WORKER, now)
+            if task.kind == "materialize":
+                # Inline execution re-materializes per cell from the
+                # local graph cache; no plane publish needed.
                 self.board.complete(task.id, None)
-        for idx, planned in enumerate(self.plan):
-            task = self.board.get(self._run_ids[idx])
-            if task.terminal:
-                continue
-            if self._stop():
-                self.corpus.interrupted = True
-                break
-            now = time.time()
-            for lease in list(task.leases):
-                self.board.revoke_lease(task, lease, now,
-                                        reason="circuit-open")
-            if task.terminal:  # revocation spent the poison budget
-                continue
-            if task.status == "pending":
-                self.board.lease(task.id, SUPERVISOR_WORKER, now)
+                return
             run = _isolated_execute(
-                planned, self.profile, self.store, self.ctx.timeout_s,
-                self.ctx.retries, self.ctx.resume, self.ctx.health_policy,
-                self.ctx.health_check_every, self.ctx.checkpoint_dir,
-                self.ctx.checkpoint_every)
+                task.payload, self.profile, self.store,
+                self.ctx.timeout_s, self.ctx.retries, self.ctx.resume,
+                self.ctx.health_policy, self.ctx.health_check_every,
+                self.ctx.checkpoint_dir, self.ctx.checkpoint_every)
             self.board.complete(task.id, run)
-        self._finalize_stores()
+            return
 
     # ------------------------------------------------------------------
     def _emit_transition(self, task: Task, old: str, new: str,

@@ -226,6 +226,9 @@ class WorkerContext:
     obs_level: "str | None"
     obs_dir: "str | None"
     run_id: "str | None"
+    #: Distributed builds: the node this worker belongs to, stamped
+    #: into its telemetry events. None on single-node builds.
+    node: "str | None" = None
 
 
 def _maybe_stall(envelope: TaskEnvelope, beats: HeartbeatWriter) -> None:
@@ -284,6 +287,25 @@ def _execute_envelope(envelope: TaskEnvelope, ctx: WorkerContext) -> Any:
     return result
 
 
+def _arm_parent_death_signal() -> None:
+    """Ask the kernel to SIGKILL this worker when its parent dies.
+
+    A SIGKILLed supervisor (or node agent — the distributed chaos runs
+    kill whole agents) gets no chance to run its crew shutdown, and the
+    ``daemon`` flag only helps on clean interpreter exit. On Linux,
+    ``PR_SET_PDEATHSIG`` closes that gap at the kernel level; elsewhere
+    the ppid check in the worker loop is the (slower) fallback.
+    """
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+    except Exception:  # pragma: no cover - non-Linux platforms
+        pass
+
+
 def worker_main(worker: int, task_queue, result_queue,
                 worksite_root: str, heartbeat_every: float,
                 ctx: WorkerContext) -> None:
@@ -292,14 +314,20 @@ def worker_main(worker: int, task_queue, result_queue,
     SIGINT is ignored (the supervisor owns shutdown). *Any* exception
     escaping a task body — already rare, since ``_isolated_execute`` is
     its own boundary — comes back as an ``ok=False`` envelope rather
-    than killing the loop.
+    than killing the loop. A worker whose parent vanished exits on its
+    own: PDEATHSIG kills it instantly on Linux, and the reparenting
+    check below catches the rest between tasks.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _arm_parent_death_signal()
+    import queue as queue_mod
+
     from repro.experiments.corpus import _configure_worker_obs
     from repro.experiments.failures import RunFailure
     from repro.experiments.graph_cache import configure_default_cache
 
-    _configure_worker_obs(ctx.obs_level, ctx.obs_dir, ctx.run_id)
+    _configure_worker_obs(ctx.obs_level, ctx.obs_dir, ctx.run_id,
+                          node=ctx.node)
     configure_default_cache(ctx.graph_cache_bytes)
     site = Worksite(worksite_root)
     beats = HeartbeatWriter(site.heartbeat_path(worker), worker,
@@ -307,7 +335,12 @@ def worker_main(worker: int, task_queue, result_queue,
     beats.start()
     try:
         while True:
-            envelope = task_queue.get()
+            try:
+                envelope = task_queue.get(timeout=5.0)
+            except queue_mod.Empty:
+                if os.getppid() == 1:
+                    break  # orphaned: the parent died without PDEATHSIG
+                continue
             if envelope is None:
                 break
             beats.set_task(envelope.task_id, envelope.epoch)

@@ -107,6 +107,34 @@ def publishable(problem: ProblemInstance) -> bool:
                for v in problem.inputs.values())
 
 
+def unlink_segment(name: str) -> bool:
+    """Unlink a segment owned by a process that will never clean up.
+
+    Used by the distributed-build coordinator to reap the graph-plane
+    segments of a dead or partitioned node agent (their names travel
+    in the node's heartbeats precisely for this). Attaching without a
+    resource-tracker registration and unlinking directly is safe: the
+    owner is gone, and if a zombie worker of that node is still mapped
+    the kernel keeps the memory until the last detach while the name
+    disappears immediately. Returns True when the name existed.
+    """
+    if not name.startswith(SEGMENT_PREFIX):
+        return False  # never unlink names we did not create
+    try:
+        seg = _attach_segment(name)
+    except FileNotFoundError:
+        return False
+    except Exception:
+        return False
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        pass
+    finally:
+        seg.close()
+    return True
+
+
 def shm_available() -> bool:
     """Probe for a working shared-memory implementation."""
     try:

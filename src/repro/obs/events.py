@@ -103,6 +103,26 @@ def worker_sink_path(obs_dir: "str | Path", pid: int) -> Path:
     return Path(obs_dir) / SINKS_DIRNAME / f"events-{pid}.jsonl"
 
 
+def node_sink_path(obs_dir: "str | Path", node: str) -> Path:
+    """Per-node sink file for a distributed-build node agent.
+
+    Same ``events-<id>.jsonl`` shape as the worker sinks, so
+    :func:`merge_sinks` folds node logs and worker logs identically;
+    node ids are sanitized to keep the name filesystem-safe and free
+    of collisions with numeric pids.
+    """
+
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in node)
+    return Path(obs_dir) / SINKS_DIRNAME / f"events-{safe}.jsonl"
+
+
+def node_metrics_path(obs_dir: "str | Path", node: str) -> Path:
+    """Per-node cumulative metrics-snapshot file (cf. the pid twin)."""
+
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in node)
+    return Path(obs_dir) / SINKS_DIRNAME / f"metrics-{safe}.json"
+
+
 def worker_metrics_path(obs_dir: "str | Path", pid: int) -> Path:
     """Per-worker cumulative metrics-snapshot file.
 

@@ -86,18 +86,67 @@ def _fmt_bytes(value: float) -> str:
 
 # -- stats rendering ---------------------------------------------------
 
-def render_stats(run_dir: "str | Path") -> str:
-    """Full ``repro stats`` report for an observability directory."""
+def _node_table(events: list[dict[str, Any]]) -> "str | None":
+    """Per-node activity table for distributed builds.
+
+    Aggregated from the merged event stream (every node agent's sink
+    carries its ``node`` stamp), so it works on a coordinator's obs
+    directory after the per-node logs were folded in.
+    """
+
+    per_node: dict[str, dict[str, int]] = {}
+    for event in events:
+        node = event.get("node")
+        if not node:
+            continue
+        row = per_node.setdefault(node, {
+            "events": 0, "cells": 0, "claims": 0, "stale": 0})
+        row["events"] += 1
+        kind = event.get("kind")
+        action = event.get("action")
+        if kind == "cell_end":
+            row["cells"] += 1
+        elif kind == "node" and action == "claim":
+            row["claims"] += 1
+        elif kind == "node" and action == "stale-epoch-rejected":
+            row["stale"] += 1
+    if not per_node:
+        return None
+    rows = [[node, row["events"], row["claims"], row["cells"],
+             row["stale"]]
+            for node, row in sorted(per_node.items())]
+    return format_table(
+        ["node", "events", "claims", "cells", "stale stores"],
+        rows, title=f"Nodes ({len(per_node)})")
+
+
+def render_stats(run_dir: "str | Path", *,
+                 node: "str | None" = None) -> str:
+    """Full ``repro stats`` report for an observability directory.
+
+    With *node*, the event-derived sections (per-cell table, node
+    table) are restricted to events stamped with that node id; the
+    registry-derived sections still cover the whole build (worker
+    registries are merged without node labels).
+    """
 
     obs_dir = resolve_run_dir(run_dir)
     payload = load_telemetry(obs_dir)
     events = read_all_events(obs_dir)
     if payload is None and not events:
         raise ValidationError(f"no telemetry data in {obs_dir}")
+    node_table = _node_table(events)
+    if node is not None:
+        events = [e for e in events if e.get("node") == node]
+        if not events:
+            raise ValidationError(
+                f"no events stamped node={node!r} in {obs_dir}")
     snapshot = (payload or {}).get("metrics", {})
     sections: list[str] = []
 
     header = [f"telemetry: {obs_dir}"]
+    if node is not None:
+        header.append(f"node filter: {node}")
     if payload:
         for key in ("run", "level", "profile", "workers",
                     "build_seconds", "interrupted"):
@@ -107,6 +156,8 @@ def render_stats(run_dir: "str | Path") -> str:
                     value = _fmt_s(float(value)) + " s"
                 header.append(f"{key}: {value}")
     sections.append("\n".join(header))
+    if node_table is not None and node is None:
+        sections.append(node_table)
 
     # Cell outcome summary.
     status_counts = _by_label(snapshot, "corpus_cells_total", "status")
@@ -243,7 +294,7 @@ def render_stats(run_dir: "str | Path") -> str:
 
 # -- tail rendering ----------------------------------------------------
 
-_SKIP_FIELDS = {"ts", "kind", "pid", "run", "cell", "attempt"}
+_SKIP_FIELDS = {"ts", "kind", "pid", "run", "cell", "attempt", "node"}
 
 
 def format_event(event: dict[str, Any]) -> str:
@@ -264,6 +315,9 @@ def format_event(event: dict[str, Any]) -> str:
         except Exception:
             pass  # fall through to the generic rendering
     parts = [clock, f"{kind:<10}"]
+    origin = event.get("node")
+    if origin:
+        parts.append(f"@{origin}")
     cell = event.get("cell")
     if cell:
         attempt = event.get("attempt")
@@ -278,16 +332,21 @@ def format_event(event: dict[str, Any]) -> str:
     return " ".join(parts)
 
 
-def tail_lines(run_dir: "str | Path", n: int) -> list[str]:
-    """Last *n* formatted events of a run directory."""
+def tail_lines(run_dir: "str | Path", n: int, *,
+               node: "str | None" = None) -> list[str]:
+    """Last *n* formatted events of a run directory (optionally only
+    those stamped with one node id)."""
 
     obs_dir = resolve_run_dir(run_dir)
     events = read_all_events(obs_dir)
+    if node is not None:
+        events = [e for e in events if e.get("node") == node]
     return [format_event(e) for e in events[-n:]]
 
 
 def iter_follow(run_dir: "str | Path", *, duration_s: "float | None",
-                poll_s: float = 0.25) -> Iterable[str]:
+                poll_s: float = 0.25,
+                node: "str | None" = None) -> Iterable[str]:
     """Formatted lines appended to the live log; see ``follow_events``."""
 
     from repro.obs.events import follow_events
@@ -295,4 +354,6 @@ def iter_follow(run_dir: "str | Path", *, duration_s: "float | None",
     obs_dir = resolve_run_dir(run_dir)
     for event in follow_events(obs_dir, poll_s=poll_s,
                                duration_s=duration_s):
+        if node is not None and event.get("node") != node:
+            continue
         yield format_event(event)

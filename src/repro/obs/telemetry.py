@@ -188,10 +188,12 @@ class Telemetry:
 
     def __init__(self, level: str = "off",
                  events: "EventLog | None" = None,
-                 run_id: "str | None" = None) -> None:
+                 run_id: "str | None" = None,
+                 node: "str | None" = None) -> None:
         self.level = validate_obs_level(level)
         self.events = events
         self.run_id = run_id
+        self.node = node
         self.cell: "str | None" = None
         self.attempt: "int | None" = None
         self._counters: dict[str, dict[tuple, float]] = {}
@@ -212,6 +214,12 @@ class Telemetry:
                     attempt: "int | None" = None) -> None:
         self.cell = cell
         self.attempt = attempt
+
+    def set_node(self, node: "str | None") -> None:
+        """Stamp subsequent events with the distributed-build node
+        identity. Unlike cell/attempt, the node never changes for the
+        life of the process, so it is set once rather than per-cell."""
+        self.node = node
 
     # -- metric primitives --------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
@@ -274,6 +282,8 @@ class Telemetry:
         event = {"ts": time.time(), "kind": kind, "pid": os.getpid()}
         if self.run_id is not None:
             event["run"] = self.run_id
+        if self.node is not None:
+            event["node"] = self.node
         if self.cell is not None:
             event["cell"] = self.cell
         if self.attempt is not None:

@@ -1,0 +1,398 @@
+"""Distributed work-queue protocol tests.
+
+Covers the filesystem protocol primitives (content-addressed task
+records, atomic rename claims, epoch fences, done markers, node
+beats), the fence-checked publish gate, and two end-to-end
+coordinator builds: a clean one that must be bit-identical with an
+inline build, and a ghost-node build where a fake peer's abandoned
+claim must be fenced, requeued, and completed by someone else.
+
+The full chaos matrix (SIGKILLed agent + frozen-then-woken zombie
+across real processes) lives in ``scripts/distributed_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import GraphSpec, PlannedRun, Profile
+from repro.experiments.corpus import build_corpus
+from repro.experiments.distqueue import (
+    Claim,
+    DistributedQueue,
+    NodeBeat,
+    TaskRecord,
+    profile_from_dict,
+    profile_to_dict,
+    publish_result,
+)
+from repro.experiments.failures import RunFailure
+from repro.experiments.results import ResultStore
+
+DQ_PROFILE = Profile(
+    name="dq-test",
+    ga_sizes=(200,),
+    cf_sizes=(80,),
+    matrix_rows=(16,),
+    grid_sides=(8,),
+    mrf_edges=(40,),
+    alphas=(2.0,),
+    ad_n_hashes=16,
+    coverage_samples=100,
+    seed=5,
+)
+
+
+def _record(key: str = "cell-a", algorithm: str = "bfs") -> TaskRecord:
+    return TaskRecord(cell_key=key, algorithm=algorithm,
+                      spec=GraphSpec(domain="ga", nedges=200, alpha=2.0,
+                                     nrows=None, seed=5))
+
+
+def _queue(tmp_path) -> DistributedQueue:
+    queue = DistributedQueue(tmp_path / "queue")
+    queue.ensure_layout()
+    return queue
+
+
+class _FakeRun:
+    def __init__(self, trace=None, failure=None):
+        self.trace = trace
+        self.failure = failure
+        self.ok = failure is None
+
+
+class _FakeStore:
+    def __init__(self):
+        self.saved = []
+        self.failures = []
+
+    def save(self, key, trace):
+        self.saved.append(key)
+
+    def save_failure(self, key, failure):
+        self.failures.append(key)
+
+
+class TestTaskRecord:
+    def test_roundtrip(self):
+        record = _record()
+        again = TaskRecord.from_dict(record.to_dict())
+        assert again == record
+        assert again.task_id == record.task_id
+
+    def test_task_id_is_content_addressed(self):
+        a, b = _record(), _record()
+        assert a.task_id == b.task_id
+        assert _record(algorithm="dfs").task_id != a.task_id
+        assert _record(key="cell-b").task_id != a.task_id
+
+    def test_task_id_is_filesystem_safe(self):
+        record = _record(key="ga/bfs α=2.0:n=200")
+        assert "/" not in record.task_id
+        assert "@" not in record.task_id
+
+    def test_planned_roundtrip(self):
+        planned = PlannedRun("bfs", GraphSpec(domain="ga", nedges=200,
+                                              alpha=2.0, nrows=None,
+                                              seed=5))
+        record = TaskRecord.for_planned(planned, DQ_PROFILE)
+        assert record.planned == planned
+
+
+class TestProfileTransport:
+    def test_roundtrip(self):
+        again = profile_from_dict(profile_to_dict(DQ_PROFILE))
+        assert again == DQ_PROFILE
+
+    def test_roundtrip_through_json(self):
+        wire = json.loads(json.dumps(profile_to_dict(DQ_PROFILE)))
+        assert profile_from_dict(wire) == DQ_PROFILE
+
+
+class TestQueueBasics:
+    def test_publish_and_pending(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        assert queue.publish(record)
+        assert queue.pending() == [record.task_id]
+        assert queue.read_task(record.task_id) == record
+
+    def test_publish_deduplicates_across_pipeline_stages(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        assert queue.publish(record)
+        assert not queue.publish(record)  # pending
+        assert queue.claim(record.task_id, "n1", 1) is not None
+        assert not queue.publish(record)  # claimed
+        queue.mark_done(record.task_id, {"status": "ok", "node": "n1",
+                                         "epoch": 1})
+        for claim in queue.claims():
+            queue.drop_claim(claim)
+        assert not queue.publish(record)  # done
+
+    def test_pending_is_sorted(self, tmp_path):
+        queue = _queue(tmp_path)
+        ids = []
+        for key in ("zz", "aa", "mm"):
+            record = _record(key=key)
+            queue.publish(record)
+            ids.append(record.task_id)
+        assert queue.pending() == sorted(ids)
+
+
+class TestClaims:
+    def test_claim_returns_record_and_parses_back(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        queue.publish(record)
+        got = queue.claim(record.task_id, "node-1", 3)
+        assert got == record
+        assert queue.pending() == []
+        (claim,) = queue.claims()
+        assert (claim.task_id, claim.node, claim.epoch) == (
+            record.task_id, "node-1", 3)
+
+    def test_concurrent_claimants_get_exactly_one_winner(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        queue.publish(record)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda i: queue.claim(record.task_id, f"node-{i}", 1),
+                range(8)))
+        assert sum(r is not None for r in results) == 1
+        assert len(queue.claims()) == 1
+
+    def test_release_requeues_and_reports_races(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        queue.publish(record)
+        queue.claim(record.task_id, "n1", 1)
+        (claim,) = queue.claims()
+        assert queue.release(claim)
+        assert queue.pending() == [record.task_id]
+        assert not queue.release(claim)  # already released
+
+    def test_drop_claim_is_idempotent(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        queue.publish(record)
+        queue.claim(record.task_id, "n1", 1)
+        (claim,) = queue.claims()
+        queue.drop_claim(claim)
+        queue.drop_claim(claim)
+        assert queue.claims() == []
+
+
+class TestFences:
+    def test_fence_floor_is_monotonic(self, tmp_path):
+        queue = _queue(tmp_path)
+        assert queue.fence_epoch("n1") == 0
+        assert queue.raise_fence("n1", 5) == 5
+        assert queue.raise_fence("n1", 3) == 5  # cannot lower
+        assert queue.raise_fence("n1", 9) == 9
+
+    def test_check_fence_boundary(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.raise_fence("n1", 4)
+        assert not queue.check_fence("n1", 3)
+        assert not queue.check_fence("n1", 4)  # at the floor == revoked
+        assert queue.check_fence("n1", 5)
+        assert queue.check_fence("other-node", 1)
+
+    def test_check_fence_fails_closed_without_layout(self, tmp_path):
+        # Never laid out, or already swept: no lease can be live. This
+        # is what stops a zombie that slept past the whole build.
+        queue = DistributedQueue(tmp_path / "never-created")
+        assert not queue.check_fence("n1", 99)
+        swept = _queue(tmp_path / "swept")
+        swept.raise_fence("n1", 1)
+        swept.sweep()
+        assert not swept.check_fence("n1", 99)
+
+
+class TestDoneMarkers:
+    def test_mark_read_drop(self, tmp_path):
+        queue = _queue(tmp_path)
+        assert not queue.is_done("t1")
+        queue.mark_done("t1", {"status": "ok", "node": "n1", "epoch": 2})
+        assert queue.is_done("t1")
+        marker = queue.read_done("t1")
+        assert marker["status"] == "ok" and marker["epoch"] == 2
+        queue.drop_done("t1")
+        assert not queue.is_done("t1")
+
+
+class TestBeats:
+    def test_roundtrip_with_host_and_stale_count(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.write_beat("n1", {"epoch": 7, "tasks": ["t1"],
+                                "stale_rejections": 2,
+                                "segments": ["repro-shm-x"],
+                                "done": False})
+        beat = queue.read_beats()["n1"]
+        assert beat.epoch == 7
+        assert beat.stale_rejections == 2
+        assert beat.segments == ("repro-shm-x",)
+        assert beat.host  # stamped by write_beat
+        assert not beat.done
+        assert beat.age_s < 5.0
+
+    def test_provably_dead_only_for_local_dead_pids(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        import socket
+
+        dead = NodeBeat(node="n1", pid=proc.pid, ts=time.time(),
+                        epoch=1, tasks=(), stale_rejections=0,
+                        segments=(), done=False,
+                        host=socket.gethostname())
+        alive = NodeBeat(node="n2", pid=os.getpid(), ts=time.time(),
+                         epoch=1, tasks=(), stale_rejections=0,
+                         segments=(), done=False,
+                         host=socket.gethostname())
+        remote = NodeBeat(node="n3", pid=proc.pid, ts=time.time(),
+                          epoch=1, tasks=(), stale_rejections=0,
+                          segments=(), done=False, host="elsewhere")
+        assert dead.provably_dead()
+        assert not alive.provably_dead()
+        assert not remote.provably_dead()  # partition-indistinguishable
+
+    def test_drop_beat(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.write_beat("n1", {"epoch": 1})
+        queue.drop_beat("n1")
+        assert queue.read_beats() == {}
+
+
+class TestPublishResult:
+    def test_live_epoch_publishes_trace_and_marker(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        store = _FakeStore()
+
+        class _Trace:
+            degraded = False
+
+        assert publish_result(queue, store, "n1", 1, record,
+                              _FakeRun(trace=_Trace()))
+        assert store.saved == [record.cell_key]
+        marker = queue.read_done(record.task_id)
+        assert marker["status"] == "ok"
+        assert marker["node"] == "n1" and marker["epoch"] == 1
+
+    def test_failure_publishes_failure_and_marker(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        store = _FakeStore()
+        failure = RunFailure(kind="crash", message="boom")
+        assert publish_result(queue, store, "n1", 1, record,
+                              _FakeRun(failure=failure))
+        assert store.failures == [record.cell_key]
+        assert queue.read_done(record.task_id)["status"] == "failed"
+
+    def test_fenced_epoch_is_rejected_and_writes_nothing(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        store = _FakeStore()
+        queue.raise_fence("n1", 2)
+
+        class _Trace:
+            degraded = False
+
+        assert not publish_result(queue, store, "n1", 2, record,
+                                  _FakeRun(trace=_Trace()))
+        assert store.saved == [] and store.failures == []
+        assert not queue.is_done(record.task_id)
+
+    def test_swept_queue_rejects_even_without_fence_file(self, tmp_path):
+        queue = _queue(tmp_path)
+        record = _record()
+        store = _FakeStore()
+        queue.sweep()
+
+        class _Trace:
+            degraded = False
+
+        assert not publish_result(queue, store, "zombie", 99, record,
+                                  _FakeRun(trace=_Trace()))
+        assert store.saved == []
+
+
+class TestSweep:
+    def test_sweep_removes_everything(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.publish(_record())
+        queue.write_beat("n1", {"epoch": 1})
+        queue.raise_fence("n1", 1)
+        queue.mark_done("t-x", {"status": "ok", "node": "n1", "epoch": 1})
+        queue.write_manifest({"store_root": "x"})
+        queue.mark_complete()
+        (queue.node_workdir("n1")).mkdir(parents=True)
+        assert queue.sweep() == 0
+        assert not queue.root.exists()
+
+
+class TestCoordinatorEndToEnd:
+    def _vectors(self, corpus):
+        return [(v.tag, v.as_array().tobytes()) for v in corpus.vectors()]
+
+    def test_distributed_build_matches_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        inline = build_corpus(DQ_PROFILE,
+                              store=ResultStore(tmp_path / "s-inline"),
+                              workers=1)
+        assert not inline.failures
+        dist = build_corpus(DQ_PROFILE,
+                            store=ResultStore(tmp_path / "s-dist"),
+                            workers=1,
+                            distributed=tmp_path / "queue")
+        assert not dist.failures
+        assert dist.distributed
+        assert dist.nodes_seen >= 1
+        assert dist.stale_epoch_rejections == 0  # clean run
+        assert dist.stale_done_markers == 0
+        assert dist.queue_leftovers == 0
+        assert not (tmp_path / "queue").exists()
+        assert self._vectors(dist) == self._vectors(inline)
+
+    def test_ghost_node_claim_is_fenced_and_requeued(self, tmp_path,
+                                                     monkeypatch):
+        """A peer that claimed a task and vanished without ever
+        heartbeating: the coordinator must fence it once the claim
+        outlives the lease timeout, requeue the cell, and still
+        converge bit-identically."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        inline = build_corpus(DQ_PROFILE,
+                              store=ResultStore(tmp_path / "s-inline"),
+                              workers=1)
+        queue = DistributedQueue(tmp_path / "queue")
+        queue.ensure_layout()
+        from repro.experiments.corpus import ExperimentMatrix
+
+        planned = ExperimentMatrix(DQ_PROFILE).corpus_runs()[0]
+        record = TaskRecord.for_planned(planned, DQ_PROFILE)
+        ghost_claim = (queue.claims_dir
+                       / f"{record.task_id}@ghost-node@1.json")
+        ghost_claim.write_text(json.dumps(record.to_dict()),
+                               encoding="utf-8")
+        dist = build_corpus(DQ_PROFILE,
+                            store=ResultStore(tmp_path / "s-dist"),
+                            workers=1,
+                            distributed=tmp_path / "queue",
+                            lease_timeout_s=0.5)
+        assert not dist.failures
+        assert dist.nodes_lost >= 1
+        assert dist.queue_requeues >= 1
+        assert dist.queue_leftovers == 0
+        assert not (tmp_path / "queue").exists()
+        assert self._vectors(dist) == self._vectors(inline)

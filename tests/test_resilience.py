@@ -57,7 +57,7 @@ class TestRunFailure:
         assert set(FAILURE_KINDS) == {"memory", "timeout", "numeric",
                                       "nonconvergence", "crash",
                                       "cache-corrupt", "lease-expired",
-                                      "quarantined-poison"}
+                                      "quarantined-poison", "disk-io"}
         with pytest.raises(ValidationError):
             RunFailure(kind="cosmic-ray", message="bit flip")
 
@@ -80,7 +80,7 @@ class TestRunFailure:
     def test_expected_vs_retryable_partition(self):
         assert EXPECTED_KINDS == {"memory"}
         assert RETRYABLE_KINDS == {"timeout", "crash", "cache-corrupt",
-                                   "lease-expired"}
+                                   "lease-expired", "disk-io"}
         assert RunFailure(kind="memory", message="m").expected
         assert not RunFailure(kind="crash", message="c").expected
         assert RunFailure(kind="timeout", message="t").retryable

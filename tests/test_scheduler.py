@@ -349,16 +349,53 @@ class TestCircuitBreaker:
         for outcome in (True, False, True, True, True):
             breaker.record(outcome)
         assert breaker.open
-        assert breaker.failures == 4
+        assert breaker.state == "open"
+        assert breaker.trips == 1
 
-    def test_successes_age_failures_out_of_the_window(self):
+    def test_open_latches_against_stale_successes(self):
+        """Once tripped, results from pre-trip dispatches trickling in
+        must not silently close the breaker mid-degrade."""
         breaker = CircuitBreaker(window=4, min_events=4, threshold=0.5)
         for _ in range(4):
             breaker.record(True)
-        assert breaker.open
-        for _ in range(4):
+        assert breaker.state == "open"
+        for _ in range(8):
             breaker.record(False)
+        assert breaker.state == "open"
+
+    def test_trip_halfopen_close(self):
+        breaker = CircuitBreaker(window=8, min_events=2, threshold=0.5,
+                                 cooldown_s=10.0)
+        breaker.record(True, now=0.0)
+        breaker.record(True, now=1.0)
+        assert breaker.state == "open"
+        # Cooldown not elapsed: still open, no probe.
+        assert not breaker.probe_due(5.0)
+        assert breaker.state == "open"
+        # Cooldown elapsed: exactly one transition to half-open.
+        assert breaker.probe_due(11.0)
+        assert breaker.state == "half-open"
+        assert not breaker.probe_due(12.0)  # probe already granted
+        # Probe success closes the breaker and resets the window.
+        breaker.record(False, now=12.0)
+        assert breaker.state == "closed"
         assert not breaker.open
+        assert breaker.failures == 0
+
+    def test_trip_halfopen_retrip(self):
+        breaker = CircuitBreaker(window=8, min_events=2, threshold=0.5,
+                                 cooldown_s=10.0)
+        breaker.record(True, now=0.0)
+        breaker.record(True, now=0.0)
+        assert breaker.probe_due(10.5)
+        # Probe failure re-trips for another full cooldown from *now*.
+        breaker.record(True, now=11.0)
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.probe_due(20.0)  # 9s into the new cooldown
+        assert breaker.probe_due(21.5)
+        breaker.record(False, now=22.0)
+        assert breaker.state == "closed"
 
 
 class TestFullJitterBackoff:
