@@ -15,6 +15,10 @@ Commands
 ``design``
     Search the corpus for the best benchmark ensemble under spread or
     coverage, optionally restricted to chosen algorithms.
+``ensemble``
+    Best-ensemble curves over a range of sizes through the blocked
+    fast search engine (DESIGN §15): pick metric, sizes, beam width,
+    engine/strategy, distance-tile budget, and worker count.
 ``stats``
     Summarize the telemetry of a run directory: per-phase time
     breakdown, failure taxonomy, cache hit rates, iteration latency.
@@ -208,6 +212,44 @@ def _build_parser() -> argparse.ArgumentParser:
     des.add_argument("--scheme", choices=("max", "log"), default="max")
     des.add_argument("--samples", type=int, default=20_000,
                      help="coverage sample budget")
+
+    ens = sub.add_parser(
+        "ensemble",
+        help="best-ensemble curves via the blocked search engine")
+    ens.add_argument("--profile", default=None,
+                     help="corpus profile (default: $REPRO_PROFILE or "
+                          "smoke)")
+    ens.add_argument("--metric", choices=("spread", "coverage"),
+                     default="spread")
+    ens.add_argument("--sizes", type=int, nargs="+",
+                     default=[2, 4, 6, 8, 10],
+                     help="ensemble sizes for the curve")
+    ens.add_argument("--scheme", choices=("max", "log"), default="max")
+    ens.add_argument("--beam-width", type=int, default=64)
+    ens.add_argument("--engine", choices=("fast", "legacy"), default=None,
+                     help="search engine (default: "
+                          "$REPRO_ENSEMBLE_ENGINE or fast)")
+    ens.add_argument("--strategy", choices=("beam", "greedy"),
+                     default=None,
+                     help="greedy = lazy-greedy submodular selection "
+                          "(coverage only, (1-1/e) guarantee)")
+    ens.add_argument("--block-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="distance-tile size for the fast engine "
+                          "(default: 32 MiB)")
+    ens.add_argument("--precision", choices=("float64", "float32"),
+                     default=None,
+                     help="distance-tile storage precision; scores "
+                          "always accumulate in float64")
+    ens.add_argument("--workers", type=int, default=None,
+                     help="scoring threads for the fast engine "
+                          "(-1 = all cores; default: 1)")
+    ens.add_argument("--samples", type=int, default=None,
+                     help="coverage search sample budget "
+                          "(default: 4000)")
+    ens.add_argument("--no-refine", action="store_true",
+                     help="skip swap refinement of each best state")
+    _add_obs_arguments(ens)
 
     ccz = sub.add_parser(
         "characterize-corpus",
@@ -542,6 +584,62 @@ def _cmd_design(args) -> int:
     return 0
 
 
+def _cmd_ensemble(args) -> int:
+    import time
+
+    from repro.behavior.space import BehaviorSpace
+    from repro.ensemble.budgets import REPORT_SAMPLES
+    from repro.ensemble.metrics import coverage, spread
+    from repro.ensemble.search import best_ensemble_curve, resolve_engine
+    from repro.experiments.corpus import build_corpus
+    from repro.experiments.reporting import format_table
+
+    corpus = build_corpus(args.profile)
+    vectors = corpus.vectors(scheme=args.scheme)
+    engine = resolve_engine(args.engine)
+    kwargs: dict = dict(beam_width=args.beam_width,
+                        refine=not args.no_refine,
+                        engine=args.engine, strategy=args.strategy,
+                        block_bytes=args.block_bytes,
+                        precision=args.precision, workers=args.workers)
+    if args.samples is not None:
+        kwargs["n_samples"] = args.samples
+    obs_state = _configure_cli_obs(args)
+    try:
+        start = time.perf_counter()
+        curve = best_ensemble_curve(vectors, args.sizes, args.metric,
+                                    **kwargs)
+        wall = time.perf_counter() - start
+    finally:
+        _export_cli_obs(obs_state)
+    # Search runs on the search budget; the table re-scores every
+    # ensemble at the reporting budget so quoted numbers are stable.
+    report = BehaviorSpace().sample(REPORT_SAMPLES, seed=0)
+    rows = []
+    for size in sorted(curve):
+        res = curve[size]
+        rows.append((size, f"{res.score:.6f}",
+                     f"{spread(res.ensemble):.6f}",
+                     f"{coverage(res.ensemble, samples=report):.6f}"))
+    strategy = args.strategy or "beam"
+    print(format_table(
+        ["size", f"search {args.metric}", "spread", "coverage"],
+        rows,
+        title=f"Best {args.metric} ensembles (pool={len(vectors)}, "
+              f"scheme={args.scheme}, engine={engine}, "
+              f"strategy={strategy})"))
+    largest = curve[max(curve)]
+    print(f"members of size-{largest.ensemble.size} ensemble:")
+    for member in largest.ensemble:
+        alg, nedges, alpha = member.tag
+        print(f"  <{alg}, nedges={nedges:g}, α={alpha}>")
+    print(f"search wall: {wall:.3f}s over {len(args.sizes)} sizes")
+    if obs_state is not None:
+        print(f"telemetry: {obs_state[0]} "
+              f"(inspect with `repro stats {obs_state[0]}`)")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -656,6 +754,7 @@ _COMMANDS = {
     "characterize-corpus": _cmd_characterize_corpus,
     "corpus": _cmd_corpus,
     "design": _cmd_design,
+    "ensemble": _cmd_ensemble,
     "report": _cmd_report,
     "stats": _cmd_stats,
     "tail": _cmd_tail,

@@ -1,0 +1,47 @@
+"""Coverage sampling budgets: the search-budget / reporting-budget split.
+
+Coverage is a Monte-Carlo estimate — the mean minimum distance from
+uniform sample points of the behavior space to the nearest ensemble
+member — so every coverage number carries a sampling budget, and the
+right budget depends on what the number is *for*:
+
+``SEARCH_SAMPLES`` (search budget)
+    Used by :func:`repro.ensemble.search.best_ensemble` and friends
+    while *ranking* candidate ensembles. Search only needs the budget
+    to be large enough that the ranking of nearby candidates is
+    stable; the absolute value is re-measured afterwards. 4 000 points
+    keeps one candidate-to-sample distance row at a few tens of KB so
+    beam states stay cheap to carry.
+
+``WIDE_SEARCH_SAMPLES`` (wide-beam budget)
+    Used by :func:`repro.ensemble.search.top_k_ensembles` and the
+    suite-design sweep in :mod:`repro.ensemble.constrained`. The
+    frequency analysis (Figs 20-21) scores hundreds of beam states per
+    level across many algorithm combinations, so it trades another 2×
+    of Monte-Carlo error for 2× less work per state — only the
+    *relative frequencies* of members are consumed, never the scores.
+
+``REPORT_SAMPLES`` (reporting budget)
+    Used by :func:`repro.ensemble.metrics.coverage` /
+    :func:`~repro.ensemble.metrics.mean_min_distance` when quoting a
+    coverage number (tables, figures, CLI output). The paper uses 10^6
+    points; 10^5 keeps the 1/√n Monte-Carlo error near 3·10^-3 of the
+    space diameter while staying interactive. Always re-score search
+    results at this budget before reporting them.
+
+Search results therefore follow a two-step discipline: *select* under
+``SEARCH_SAMPLES`` (or ``WIDE_SEARCH_SAMPLES``), then *report* under
+``REPORT_SAMPLES`` — never quote a search-budget score as a result.
+"""
+
+from __future__ import annotations
+
+#: Coverage sampling budget while searching (ranking candidates).
+SEARCH_SAMPLES = 4_000
+
+#: Coverage sampling budget for wide beams (top-k frequency analysis,
+#: suite-design sweeps) where per-state cost dominates.
+WIDE_SEARCH_SAMPLES = 2_000
+
+#: Coverage sampling budget when reporting a number (tables, figures).
+REPORT_SAMPLES = 100_000

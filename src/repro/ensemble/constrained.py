@@ -19,6 +19,7 @@ from dataclasses import replace
 from repro._util.errors import ValidationError
 from repro.behavior.space import BehaviorVector
 from repro.behavior.trace import RunTrace
+from repro.ensemble.budgets import WIDE_SEARCH_SAMPLES
 
 #: Algorithms the paper identifies as contributing most to both spread
 #: and coverage (Section 5.6).
@@ -84,7 +85,7 @@ def select_algorithm_suite(
     *,
     ensemble_size: int = 6,
     samples=None,
-    n_samples: int = 2_000,
+    n_samples: int = WIDE_SEARCH_SAMPLES,
     seed: int = 0,
     beam_width: int = 16,
 ) -> tuple[str, ...]:
@@ -96,7 +97,10 @@ def select_algorithm_suite(
     combination is scored by the best spread and best coverage its runs
     can achieve at ``ensemble_size``, each normalized by the
     unrestricted optimum; the combination maximizing the summed
-    normalized score wins.
+    normalized score wins. ``n_samples`` defaults to the wide-search
+    budget (:data:`~repro.ensemble.budgets.WIDE_SEARCH_SAMPLES`): the
+    sweep only compares combinations against each other, never quotes
+    the scores.
     """
     import itertools
 

@@ -1,0 +1,798 @@
+"""Blocked, batched, parallel ensemble-search engine (DESIGN §15).
+
+The legacy search in :mod:`repro.ensemble.search` materializes the full
+pairwise matrix (``squareform(pdist(pool))`` — O(n²) float64, ~800 MB
+at n = 10⁴) and walks beam states in a Python loop with a fancy-index
+copy per state. This module provides the corpus-scale replacement:
+
+- **Blocked distance kernels** — :class:`PairwiseBlocks` (column tiles
+  of the pool×pool distances) and :class:`SampleBlocks` (row tiles of
+  the pool×samples distances), built on demand through a byte-bounded
+  LRU :class:`BlockCache` with hit/miss telemetry. Tiles may be stored
+  float32 (``dtype``); every *score* is accumulated in float64.
+- **Batched beam** — one masked matrix operation per level scores all
+  beam states' extensions at once; selection is tie-stable (see
+  :func:`tie_sorted`) so results are deterministic across NumPy
+  versions and identical to the tie-stable legacy reference.
+- **Incremental swap refinement** — per-position replacement scoring
+  reuses a maintained column-sum (spread) or per-sample first/second
+  minimum (coverage) instead of recomputing ``D[others].min(axis=0)``
+  from scratch for every position.
+- **Lazy-greedy submodular selection** (coverage only) — CELF-style
+  priority queue of stale marginal gains with re-evaluation on pop;
+  coverage is monotone submodular, so the greedy pick carries the
+  classic ``(1 − 1/e)`` approximation guarantee.
+- **Parallel scoring** — per-level fan-out of beam-state batches /
+  candidate tiles over a thread pool (NumPy releases the GIL in the
+  underlying kernels). Chunk boundaries are fixed by ``block_bytes``,
+  never by ``workers``, so results are bitwise independent of the
+  worker count.
+
+Telemetry (all levels, cheap when off): ``ensemble_search_states_total``
+counts scored beam states, ``ensemble_block_cache_total{kind,outcome}``
+tracks tile reuse, ``ensemble_block_build_seconds`` times tile builds,
+and ``ensemble_greedy_reevaluations`` histograms CELF re-evaluations
+per selection step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro._util.errors import ValidationError
+from repro.behavior.space import BehaviorSpace
+from repro.obs.telemetry import get_telemetry
+
+#: Default distance-tile size. 32 MiB keeps a tile comfortably inside
+#: L3 on server parts while amortizing the Python dispatch per tile.
+DEFAULT_BLOCK_BYTES = 32 << 20
+
+#: Scores closer than this are treated as equal and ordered by index
+#: tuple (lexicographically smallest first) — the tie-stability rule
+#: shared by the fast and legacy paths.
+TIE_TOL = 1e-12
+
+#: Minimum improvement a swap must bring to be accepted (matches the
+#: legacy refinement loop).
+SWAP_TOL = 1e-12
+
+VALID_PRECISIONS = ("float64", "float32")
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Normalize a ``workers`` argument to a concrete thread count."""
+    if workers is None or workers in (0, 1):
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+def resolve_precision(precision: "str | None") -> np.dtype:
+    """Map a precision name to the tile storage dtype."""
+    if precision is None:
+        return np.dtype(np.float64)
+    if precision not in VALID_PRECISIONS:
+        raise ValidationError(
+            f"precision must be one of {VALID_PRECISIONS}")
+    return np.dtype(np.float32 if precision == "float32" else np.float64)
+
+
+# -- tie-stable ordering ----------------------------------------------
+
+def tie_sorted(items: "Sequence[tuple]") -> list:
+    """Order ``(score, indices, ...)`` items best-first, tie-stably.
+
+    Primary order is score descending. Scores within :data:`TIE_TOL`
+    of the best score of their run ("head-anchored" groups over the
+    descending sequence) are considered equal and ordered by their
+    index tuple, lexicographically smallest first. Both search paths
+    (fast and legacy) rank candidates through this rule, which makes
+    results — in particular the top-k sets feeding the Figs 20-21
+    frequency analysis — deterministic across NumPy versions.
+    """
+    ranked = sorted(items, key=lambda it: -it[0])
+    out: list = []
+    i = 0
+    while i < len(ranked):
+        head = ranked[i][0]
+        g = i + 1
+        while g < len(ranked) and head - ranked[g][0] <= TIE_TOL:
+            g += 1
+        if g - i > 1:
+            out.extend(sorted(ranked[i:g], key=lambda it: it[1]))
+        else:
+            out.append(ranked[i])
+        i = g
+    return out
+
+
+def tie_argmax(scores: np.ndarray) -> int:
+    """Index of the best score; near-ties go to the smallest index."""
+    j_best = int(np.argmax(scores))
+    ties = np.flatnonzero(scores >= scores[j_best] - TIE_TOL)
+    return int(ties.min())
+
+
+def boundary_positions(scores: np.ndarray, width: int) -> np.ndarray:
+    """Positions that can belong to the tie-stable top ``width``.
+
+    Keeps every entry scoring within :data:`TIE_TOL` of the
+    ``width``-th best, so a later tie-stable global ordering over the
+    union of per-chunk boundaries selects exactly the same set it
+    would have selected over all candidates.
+    """
+    scores = np.asarray(scores)
+    finite = scores > -np.inf
+    n_finite = int(np.count_nonzero(finite))
+    if n_finite == 0:
+        return np.empty(0, dtype=np.intp)
+    k = min(width, n_finite)
+    cut = np.partition(scores, scores.size - k)[scores.size - k]
+    return np.flatnonzero(finite & (scores >= cut - TIE_TOL))
+
+
+def grouped_top(scores: np.ndarray, parent: np.ndarray, cand: np.ndarray,
+                width: int) -> np.ndarray:
+    """Tie-stable top-``width`` positions among extension candidates.
+
+    ``parent`` must index states kept in lexicographic tuple order, so
+    comparing ``(parent, cand)`` pairs is equivalent to comparing the
+    full extended index tuples. Semantics match :func:`tie_sorted`.
+    """
+    order = np.lexsort((cand, parent, -scores))
+    ranked = scores[order]
+    out: list[np.ndarray] = []
+    total = 0
+    i = 0
+    while i < ranked.size and total < width:
+        head = ranked[i]
+        g = i + 1
+        while g < ranked.size and head - ranked[g] <= TIE_TOL:
+            g += 1
+        grp = order[i:g]
+        if grp.size > 1:
+            grp = grp[np.lexsort((cand[grp], parent[grp]))]
+        out.append(grp)
+        total += grp.size
+        i = g
+    if not out:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(out)[:width].astype(np.intp, copy=False)
+
+
+# -- blocked distance kernels -----------------------------------------
+
+class BlockCache:
+    """Byte-bounded LRU of distance tiles with hit/miss telemetry.
+
+    Thread-safe: scoring threads may fetch tiles concurrently; a miss
+    builds the tile under the lock (builds are serialized, scoring is
+    not). At least one tile is always retained so the current consumer
+    never sees its block evicted mid-use.
+    """
+
+    def __init__(self, budget_bytes: int, kind: str) -> None:
+        self.budget = max(int(budget_bytes), 0)
+        self.kind = kind
+        self.hits = 0
+        self.misses = 0
+        self._blocks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: int, build: "Callable[[int], np.ndarray]") -> np.ndarray:
+        tel = get_telemetry()
+        with self._lock:
+            blk = self._blocks.get(key)
+            if blk is not None:
+                self._blocks.move_to_end(key)
+                self.hits += 1
+                if tel.enabled:
+                    tel.inc("ensemble_block_cache_total",
+                            kind=self.kind, outcome="hit")
+                return blk
+            self.misses += 1
+            if tel.enabled:
+                tel.inc("ensemble_block_cache_total",
+                        kind=self.kind, outcome="miss")
+            started = time.perf_counter()
+            blk = build(key)
+            if tel.enabled:
+                tel.observe("ensemble_block_build_seconds",
+                            time.perf_counter() - started, kind=self.kind)
+            self._blocks[key] = blk
+            self._bytes += blk.nbytes
+            while self._bytes > self.budget and len(self._blocks) > 1:
+                _, old = self._blocks.popitem(last=False)
+                self._bytes -= old.nbytes
+            return blk
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+
+class PairwiseBlocks:
+    """Column tiles of the pool's pairwise Euclidean distance matrix.
+
+    Every consumer of pairwise distances (beam extension, swap
+    refinement, from-scratch scoring) wants *all rows × a few columns*
+    — the columns of current ensemble members — so tiles are
+    column-major: tile ``b`` holds ``dist(X, X[j0:j1])`` for a
+    contiguous column range sized to ``block_bytes``.
+    """
+
+    def __init__(self, points: np.ndarray, *,
+                 block_bytes: "int | None" = None,
+                 dtype: "np.dtype | type" = np.float64,
+                 cache_bytes: "int | None" = None) -> None:
+        self.X = np.ascontiguousarray(points, dtype=np.float64)
+        self.n = self.X.shape[0]
+        self.dtype = np.dtype(dtype)
+        block_bytes = int(block_bytes or DEFAULT_BLOCK_BYTES)
+        if block_bytes < 1:
+            raise ValidationError("block_bytes must be >= 1")
+        row_bytes = max(self.n, 1) * self.dtype.itemsize
+        self.cols_per_block = max(1, block_bytes // row_bytes)
+        self.n_blocks = -(-max(self.n, 1) // self.cols_per_block)
+        self.cache = BlockCache(cache_bytes or 8 * block_bytes, "pairwise")
+
+    def _build(self, bid: int) -> np.ndarray:
+        j0 = bid * self.cols_per_block
+        j1 = min(self.n, j0 + self.cols_per_block)
+        blk = cdist(self.X, self.X[j0:j1])
+        return blk.astype(self.dtype, copy=False)
+
+    def block(self, bid: int) -> "tuple[int, int, np.ndarray]":
+        """``(j0, j1, dist(X, X[j0:j1]))`` for tile ``bid``."""
+        j0 = bid * self.cols_per_block
+        j1 = min(self.n, j0 + self.cols_per_block)
+        return j0, j1, self.cache.get(bid, self._build)
+
+    def columns(self, idx: "Iterable[int]") -> np.ndarray:
+        """Distances from every pool point to the given members."""
+        idx = np.asarray(list(idx) if not isinstance(idx, np.ndarray)
+                         else idx, dtype=np.intp)
+        out = np.empty((self.n, idx.size), dtype=self.dtype)
+        bids = idx // self.cols_per_block
+        for bid in np.unique(bids):
+            _, _, blk = self.block(int(bid))
+            sel = np.flatnonzero(bids == bid)
+            out[:, sel] = blk[:, idx[sel] - int(bid) * self.cols_per_block]
+        return out
+
+
+class SampleBlocks:
+    """Row tiles of the pool-to-samples distance matrix.
+
+    Coverage scoring sweeps candidate rows against the sample cloud,
+    so tiles are row-major: tile ``b`` holds
+    ``dist(X[i0:i1], samples)`` for a contiguous candidate range.
+    """
+
+    def __init__(self, points: np.ndarray, samples: np.ndarray, *,
+                 block_bytes: "int | None" = None,
+                 dtype: "np.dtype | type" = np.float64,
+                 cache_bytes: "int | None" = None) -> None:
+        self.X = np.ascontiguousarray(points, dtype=np.float64)
+        self.samples = np.ascontiguousarray(samples, dtype=np.float64)
+        self.n = self.X.shape[0]
+        self.m = self.samples.shape[0]
+        self.dtype = np.dtype(dtype)
+        block_bytes = int(block_bytes or DEFAULT_BLOCK_BYTES)
+        if block_bytes < 1:
+            raise ValidationError("block_bytes must be >= 1")
+        row_bytes = max(self.m, 1) * self.dtype.itemsize
+        self.rows_per_block = max(1, block_bytes // row_bytes)
+        self.n_blocks = -(-max(self.n, 1) // self.rows_per_block)
+        self.cache = BlockCache(cache_bytes or 8 * block_bytes, "samples")
+
+    def _build(self, bid: int) -> np.ndarray:
+        i0 = bid * self.rows_per_block
+        i1 = min(self.n, i0 + self.rows_per_block)
+        blk = cdist(self.X[i0:i1], self.samples)
+        return blk.astype(self.dtype, copy=False)
+
+    def block(self, bid: int) -> "tuple[int, int, np.ndarray]":
+        """``(i0, i1, dist(X[i0:i1], samples))`` for tile ``bid``."""
+        i0 = bid * self.rows_per_block
+        i1 = min(self.n, i0 + self.rows_per_block)
+        return i0, i1, self.cache.get(bid, self._build)
+
+    def tiles(self) -> "Iterable[tuple[int, int, np.ndarray]]":
+        for bid in range(self.n_blocks):
+            yield self.block(bid)
+
+    def rows(self, idx: "Iterable[int]") -> np.ndarray:
+        """Distance rows for the given pool members, ``(len(idx), m)``."""
+        idx = np.asarray(list(idx) if not isinstance(idx, np.ndarray)
+                         else idx, dtype=np.intp)
+        out = np.empty((idx.size, self.m), dtype=self.dtype)
+        bids = idx // self.rows_per_block
+        for bid in np.unique(bids):
+            i0, _, blk = self.block(int(bid))
+            sel = np.flatnonzero(bids == bid)
+            out[sel] = blk[idx[sel] - i0]
+        return out
+
+
+# -- the engine --------------------------------------------------------
+
+class FastEngine:
+    """Incremental, batched spread/coverage search over a fixed pool.
+
+    Drop-in scorer behind :func:`repro.ensemble.search.best_ensemble`
+    and friends: beam results are selection-identical to the
+    tie-stable legacy reference, with scores accumulated in float64
+    regardless of the tile storage ``dtype``.
+    """
+
+    def __init__(self, pool: np.ndarray, metric: str, *,
+                 space: BehaviorSpace,
+                 samples: "np.ndarray | None",
+                 n_samples: int,
+                 seed: int,
+                 block_bytes: "int | None" = None,
+                 dtype: "np.dtype | type" = np.float64,
+                 workers: "int | None" = None) -> None:
+        if metric not in ("spread", "coverage"):
+            raise ValidationError(
+                "metric must be one of ('spread', 'coverage')")
+        self.metric = metric
+        self.pool = np.ascontiguousarray(pool, dtype=np.float64)
+        self.n = self.pool.shape[0]
+        self.space = space
+        self.diam = space.diameter
+        self.block_bytes = int(block_bytes or DEFAULT_BLOCK_BYTES)
+        self.workers = resolve_workers(workers)
+        if metric == "spread":
+            self.pair = PairwiseBlocks(self.pool,
+                                       block_bytes=self.block_bytes,
+                                       dtype=dtype)
+            self.samp = None
+            self.m = 0
+        else:
+            if samples is None:
+                samples = space.sample(n_samples, seed=seed)
+            self.samp = SampleBlocks(self.pool, samples,
+                                     block_bytes=self.block_bytes,
+                                     dtype=dtype)
+            self.pair = None
+            self.m = self.samp.m
+
+    # -- shared helpers ------------------------------------------------
+
+    def _map(self, fn, items: list) -> list:
+        """Map ``fn`` over chunks, threaded when ``workers`` > 1.
+
+        Chunking never depends on the worker count and every chunk
+        computes an independent output, so results are bitwise equal
+        to the serial path.
+        """
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def _count_states(self, n_states: int) -> None:
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("ensemble_search_states_total", float(n_states),
+                    metric=self.metric, engine="fast")
+
+    def score_indices(self, indices: "Iterable[int]") -> float:
+        """From-scratch float64 score of an arbitrary index set."""
+        idx = np.asarray(list(indices), dtype=np.intp)
+        if self.metric == "spread":
+            if idx.size < 2:
+                return 0.0
+            sub = self.pair.columns(idx)[idx].astype(np.float64, copy=False)
+            return float(sub.sum() / (idx.size * (idx.size - 1)))
+        payload = self.samp.rows(idx).min(axis=0)
+        return self.diam - float(payload.mean(dtype=np.float64))
+
+    # -- beam ----------------------------------------------------------
+
+    def beam(self, size: int, beam_width: int) -> "list[tuple[float, tuple]]":
+        """Tie-stable beam search; returns ``(score, indices)`` states."""
+        if size < 1:
+            raise ValidationError("size must be >= 1")
+        if size > self.n:
+            raise ValidationError(f"cannot pick {size} of {self.n} runs")
+        if size == 1:
+            self._count_states(self.n)
+            if self.metric == "spread":
+                return [(0.0, (i,)) for i in range(self.n)]
+            sums = self._coverage_row_sums()
+            return [(self.diam - sums[i] / self.m, (i,))
+                    for i in range(self.n)]
+        if self.metric == "spread":
+            return self._beam_spread(size, beam_width)
+        return self._beam_coverage(size, beam_width)
+
+    # -- spread beam ---------------------------------------------------
+
+    def _beam_spread(self, size, beam_width):
+        members, sums = self._level1_spread(size, beam_width)
+        for length in range(2, size):
+            members, sums = self._extend_spread(members, sums, length,
+                                                size, beam_width)
+        denom = size * (size - 1)
+        return [(2.0 * float(sums[b]) / denom, tuple(int(v) for v in row))
+                for b, row in enumerate(members)]
+
+    def _level1_spread(self, size, beam_width):
+        """Rank all feasible pairs straight off the distance tiles."""
+        n = self.n
+        j_max = n - size + 1  # highest feasible second member
+        self._count_states(n)
+        rows_idx = np.arange(n)
+        found: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+        def scan(bid):
+            j0, j1, blk = self.pair.block(bid)
+            hi = min(j1, j_max + 1)
+            if hi <= j0:
+                return None
+            cols = np.arange(j0, hi)
+            scores = blk[:, :hi - j0].astype(np.float64, copy=True)
+            # feasible pairs are strictly upper-triangular: i < j
+            scores[rows_idx[:, None] >= cols[None, :]] = -np.inf
+            keep = boundary_positions(scores.ravel(), beam_width)
+            if keep.size == 0:
+                return None
+            i_arr = keep // cols.size
+            j_arr = cols[keep % cols.size]
+            return scores.ravel()[keep], i_arr, j_arr
+
+        for part in self._map(scan, list(range(self.pair.n_blocks))):
+            if part is not None:
+                found.append(part)
+        if not found:
+            raise ValidationError(
+                f"pool of {n} cannot form an ensemble of size {size}")
+        scores = np.concatenate([p[0] for p in found])
+        i_arr = np.concatenate([p[1] for p in found])
+        j_arr = np.concatenate([p[2] for p in found])
+        top = grouped_top(scores, i_arr, j_arr, beam_width)
+        i_top, j_top, s_top = i_arr[top], j_arr[top], scores[top]
+        order = np.lexsort((j_top, i_top))  # lexicographic state order
+        members = np.stack([i_top[order], j_top[order]], axis=1)
+        return members, s_top[order]
+
+    def _extend_spread(self, members, sums, length, size, beam_width):
+        """Score every state × candidate in one batched gather-sum."""
+        n = self.n
+        n_states = members.shape[0]
+        self._count_states(n_states)
+        uniq, inverse = np.unique(members, return_inverse=True)
+        cols = inverse.reshape(members.shape).astype(np.intp)
+        dist_u = self.pair.columns(uniq)  # (n, u)
+        j_max = n - size + length  # feasibility bound for the next pick
+        last = members[:, -1]
+        k = length + 1
+        norm = 2.0 / (k * (k - 1))
+        row_bytes = max(1, n_states * length * 8)
+        chunk = max(1, self.block_bytes // row_bytes)
+        chunks = [(r0, min(n, r0 + chunk)) for r0 in range(0, n, chunk)]
+
+        def score_chunk(bounds):
+            r0, r1 = bounds
+            # adds[c, b] = Σ_l dist(candidate c, member l of state b)
+            adds = dist_u[r0:r1][:, cols].sum(axis=2, dtype=np.float64)
+            totals = adds + sums[None, :]
+            cand = np.arange(r0, r1)
+            feasible = (cand[:, None] > last[None, :]) \
+                & (cand[:, None] <= j_max)
+            # select on *normalized* scores so the tie tolerance acts
+            # on the same scale as the legacy path
+            scores = np.where(feasible, norm * totals, -np.inf)
+            keep = boundary_positions(scores.ravel(), beam_width)
+            if keep.size == 0:
+                return None
+            b_arr = (keep % n_states).astype(np.intp)
+            c_arr = cand[keep // n_states]
+            return scores.ravel()[keep], totals.ravel()[keep], b_arr, c_arr
+
+        parts = [p for p in self._map(score_chunk, chunks) if p is not None]
+        if not parts:
+            raise ValidationError(
+                f"pool of {n} cannot form an ensemble of size {size}")
+        scores = np.concatenate([p[0] for p in parts])
+        totals = np.concatenate([p[1] for p in parts])
+        b_arr = np.concatenate([p[2] for p in parts])
+        c_arr = np.concatenate([p[3] for p in parts])
+        top = grouped_top(scores, b_arr, c_arr, beam_width)
+        b_top, c_top = b_arr[top], c_arr[top]
+        order = np.lexsort((c_top, b_top))
+        b_top, c_top = b_top[order], c_top[order]
+        new_members = np.concatenate(
+            [members[b_top], c_top[:, None]], axis=1)
+        return new_members, totals[top][order]
+
+    # -- coverage beam -------------------------------------------------
+
+    def _coverage_row_sums(self) -> np.ndarray:
+        sums = np.empty(self.n, dtype=np.float64)
+
+        def tile_sum(bid):
+            i0, i1, blk = self.samp.block(bid)
+            sums[i0:i1] = blk.sum(axis=1, dtype=np.float64)
+
+        self._map(tile_sum, list(range(self.samp.n_blocks)))
+        return sums
+
+    def _beam_coverage(self, size, beam_width):
+        members, payloads = self._level1_coverage(size, beam_width)
+        for length in range(2, size):
+            members, payloads = self._extend_coverage(
+                members, payloads, length, size, beam_width)
+        sums = payloads.sum(axis=1, dtype=np.float64)
+        return [(self.diam - float(sums[b]) / self.m,
+                 tuple(int(v) for v in row))
+                for b, row in enumerate(members)]
+
+    def _pairmin_sums(self, rows_a: np.ndarray,
+                      rows_b: np.ndarray) -> np.ndarray:
+        """``out[a, b] = Σ_s min(rows_a[a, s], rows_b[b, s])`` tiled.
+
+        The broadcast temporary is transient, so it gets a few times
+        the tile budget — fewer, larger kernels beat strict residency.
+        """
+        na, nb = rows_a.shape[0], rows_b.shape[0]
+        out = np.zeros((na, nb), dtype=np.float64)
+        step = max(1, (4 * self.block_bytes)
+                   // max(1, na * nb * rows_a.dtype.itemsize))
+        for s0 in range(0, self.m, step):
+            s1 = min(self.m, s0 + step)
+            out += np.minimum(rows_a[:, None, s0:s1],
+                              rows_b[None, :, s0:s1]
+                              ).sum(axis=2, dtype=np.float64)
+        return out
+
+    def _level1_coverage(self, size, beam_width):
+        n = self.n
+        j_max = n - size + 1
+        self._count_states(n)
+        # chunk pairs (i-block, j-block); a chunk edge is sized so one
+        # member-row block stays within the tile budget, and j-chunks
+        # start past the i-chunk's diagonal (feasible pairs have i < j).
+        chunk = max(1, self.block_bytes // max(1, self.m * 8))
+        i_chunks = [(a, min(n, min(a + chunk, j_max)))
+                    for a in range(0, min(n, j_max), chunk)]
+        j_hi = j_max + 1
+        found = []
+        for i0, i1 in i_chunks:
+            if i1 <= i0:
+                continue
+            rows_i = self.samp.rows(np.arange(i0, i1))
+
+            def scan(bounds, rows_i=rows_i, i0=i0):
+                jc0, jc1 = bounds
+                rows_j = self.samp.rows(np.arange(jc0, jc1))
+                sums = self._pairmin_sums(rows_i, rows_j)
+                scores = self.diam - sums / self.m
+                i_grid = np.arange(i0, i0 + rows_i.shape[0])
+                j_grid = np.arange(jc0, jc1)
+                scores[i_grid[:, None] >= j_grid[None, :]] = -np.inf
+                keep = boundary_positions(scores.ravel(), beam_width)
+                if keep.size == 0:
+                    return None
+                i_arr = i_grid[keep // j_grid.size]
+                j_arr = j_grid[keep % j_grid.size]
+                return scores.ravel()[keep], i_arr, j_arr
+
+            j_chunks = [(a, min(j_hi, a + chunk))
+                        for a in range(i0 + 1, j_hi, chunk)]
+            for part in self._map(scan, j_chunks):
+                if part is not None:
+                    found.append(part)
+        if not found:
+            raise ValidationError(
+                f"pool of {n} cannot form an ensemble of size {size}")
+        scores = np.concatenate([p[0] for p in found])
+        i_arr = np.concatenate([p[1] for p in found])
+        j_arr = np.concatenate([p[2] for p in found])
+        top = grouped_top(scores, i_arr, j_arr, beam_width)
+        i_top, j_top = i_arr[top], j_arr[top]
+        order = np.lexsort((j_top, i_top))
+        i_top, j_top = i_top[order], j_top[order]
+        members = np.stack([i_top, j_top], axis=1)
+        payloads = np.minimum(self.samp.rows(i_top), self.samp.rows(j_top))
+        return members, payloads
+
+    def _extend_coverage(self, members, payloads, length, size, beam_width):
+        n = self.n
+        n_states = members.shape[0]
+        self._count_states(n_states)
+        j_max = n - size + length
+        last = members[:, -1]
+        found = []
+        for bid in range(self.samp.n_blocks):
+            i0, i1, blk = self.samp.block(bid)
+            hi = min(i1, j_max + 1)
+            if hi <= i0:
+                continue
+            tile = blk[:hi - i0]
+            sums = np.empty((hi - i0, n_states), dtype=np.float64)
+
+            # per-state contiguous min+sum over the whole tile: large
+            # kernels, disjoint output columns — safe to fan out
+            def state_col(b, tile=tile, sums=sums):
+                sums[:, b] = np.minimum(tile, payloads[b][None, :]) \
+                    .sum(axis=1, dtype=np.float64)
+
+            self._map(state_col, list(range(n_states)))
+            scores = self.diam - sums / self.m
+            cand = np.arange(i0, hi)
+            scores[cand[:, None] <= last[None, :]] = -np.inf
+            keep = boundary_positions(scores.ravel(), beam_width)
+            if keep.size == 0:
+                continue
+            b_arr = (keep % n_states).astype(np.intp)
+            c_arr = cand[keep // n_states]
+            found.append((scores.ravel()[keep], b_arr, c_arr))
+        if not found:
+            raise ValidationError(
+                f"pool of {n} cannot form an ensemble of size {size}")
+        scores = np.concatenate([p[0] for p in found])
+        b_arr = np.concatenate([p[1] for p in found])
+        c_arr = np.concatenate([p[2] for p in found])
+        top = grouped_top(scores, b_arr, c_arr, beam_width)
+        b_top, c_top = b_arr[top], c_arr[top]
+        order = np.lexsort((c_top, b_top))
+        b_top, c_top = b_top[order], c_top[order]
+        new_members = np.concatenate(
+            [members[b_top], c_top[:, None]], axis=1)
+        new_payloads = np.minimum(payloads[b_top],
+                                  self.samp.rows(c_top))
+        return new_members, new_payloads
+
+    # -- swap refinement ----------------------------------------------
+
+    def refine(self, indices: "Iterable[int]",
+               max_passes: int = 8) -> "tuple[tuple[int, ...], float]":
+        """Incremental hill-climb by single-member swaps (tie-stable)."""
+        if self.metric == "spread":
+            return self._refine_spread(tuple(indices), max_passes)
+        return self._refine_coverage(tuple(indices), max_passes)
+
+    def _refine_spread(self, indices, max_passes):
+        current = list(indices)
+        k = len(current)
+        best_score = self.score_indices(current)
+        if k < 2:
+            return tuple(sorted(current)), best_score
+        denom = k * (k - 1)
+        for _ in range(max_passes):
+            improved = False
+            cols = self.pair.columns(current).astype(np.float64, copy=False)
+            colsum = cols.sum(axis=1, dtype=np.float64)
+            cur_idx = np.asarray(current, dtype=np.intp)
+            pairsum = float(cols[cur_idx].sum()) / 2.0
+            for pos in range(k):
+                r = current[pos]
+                base = pairsum - float(colsum[r])
+                adds = colsum - cols[:, pos]
+                scores = 2.0 * (base + adds) / denom
+                scores[current] = -np.inf
+                j = tie_argmax(scores)
+                if scores[j] > best_score + SWAP_TOL:
+                    new_col = self.pair.columns([j])[:, 0].astype(
+                        np.float64, copy=False)
+                    pairsum = base + float(adds[j])
+                    colsum += new_col - cols[:, pos]
+                    cols[:, pos] = new_col
+                    current[pos] = j
+                    cur_idx = np.asarray(current, dtype=np.intp)
+                    best_score = float(scores[j])
+                    improved = True
+            if not improved:
+                break
+        return tuple(sorted(current)), best_score
+
+    def _refine_coverage(self, indices, max_passes):
+        current = list(indices)
+        k = len(current)
+        rows = self.samp.rows(current).astype(np.float64, copy=False)
+        payload = rows.min(axis=0)
+        best_score = self.diam - float(payload.mean(dtype=np.float64))
+        for _ in range(max_passes):
+            improved = False
+            min1 = rows.min(axis=0)
+            arg1 = rows.argmin(axis=0)
+            if k > 1:
+                masked = rows.copy()
+                masked[arg1, np.arange(self.m)] = np.inf
+                min2 = masked.min(axis=0)
+            else:
+                min2 = np.full(self.m, np.inf)
+            for pos in range(k):
+                # second-minimum update: the payload without this
+                # member is min2 wherever this member held the minimum
+                without = np.where(arg1 == pos, min2, min1)
+                sums = np.empty(self.n, dtype=np.float64)
+
+                def sweep(bid, without=without, sums=sums):
+                    i0, i1, blk = self.samp.block(bid)
+                    sums[i0:i1] = np.minimum(
+                        blk, without[None, :]).sum(axis=1, dtype=np.float64)
+
+                self._map(sweep, list(range(self.samp.n_blocks)))
+                scores = self.diam - sums / self.m
+                scores[current] = -np.inf
+                j = tie_argmax(scores)
+                if scores[j] > best_score + SWAP_TOL:
+                    current[pos] = j
+                    rows[pos] = self.samp.rows([j])[0]
+                    min1 = rows.min(axis=0)
+                    arg1 = rows.argmin(axis=0)
+                    if k > 1:
+                        masked = rows.copy()
+                        masked[arg1, np.arange(self.m)] = np.inf
+                        min2 = masked.min(axis=0)
+                    best_score = float(scores[j])
+                    improved = True
+            if not improved:
+                break
+        return tuple(sorted(current)), best_score
+
+    # -- lazy-greedy submodular selection (coverage) -------------------
+
+    def greedy(self, size: int) -> "tuple[tuple[int, ...], float]":
+        """CELF lazy-greedy coverage maximization.
+
+        Coverage ``f(S) = diam − mean_s min_{i∈S} d(s, i)`` equals the
+        facility-location objective ``mean_s (diam − min d)`` (every
+        distance is bounded by the space diameter), which is monotone
+        submodular with ``f(∅) = 0`` — so the greedy sequence satisfies
+        ``f(greedy_k) ≥ (1 − 1/e) · f(opt_k)`` at every prefix ``k``.
+        Marginal gains are kept in a priority queue and only
+        re-evaluated when popped with a stale generation stamp.
+        """
+        if self.metric != "coverage":
+            raise ValidationError(
+                "lazy-greedy selection applies to the coverage metric")
+        if size < 1:
+            raise ValidationError("size must be >= 1")
+        if size > self.n:
+            raise ValidationError(f"cannot pick {size} of {self.n} runs")
+        tel = get_telemetry()
+        sums = self._coverage_row_sums()
+        gains = self.diam - sums / self.m
+        heap = [(-gains[j], j, 0) for j in range(self.n)]
+        heapq.heapify(heap)
+        selected: list[int] = []
+        payload: "np.ndarray | None" = None
+        while len(selected) < size:
+            reevals = 0
+            while True:
+                neg_gain, j, stamp = heapq.heappop(heap)
+                if stamp == len(selected):
+                    break
+                row = self.samp.rows([j])[0]
+                gain = float(np.maximum(payload - row, 0.0)
+                             .sum(dtype=np.float64)) / self.m
+                reevals += 1
+                heapq.heappush(heap, (-gain, j, len(selected)))
+            row = self.samp.rows([j])[0]
+            payload = row.astype(np.float64, copy=True) if payload is None \
+                else np.minimum(payload, row)
+            selected.append(j)
+            self._count_states(1 + reevals)
+            if tel.enabled:
+                tel.observe("ensemble_greedy_reevaluations", float(reevals),
+                            metric=self.metric)
+        score = self.diam - float(payload.mean(dtype=np.float64))
+        return tuple(sorted(selected)), score

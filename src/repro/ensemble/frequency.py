@@ -29,8 +29,10 @@ class FrequencyReport:
     presence: dict[str, float]
 
     def ranked(self) -> list[tuple[str, float]]:
-        """Algorithms by slot share, descending."""
-        return sorted(self.slot_share.items(), key=lambda kv: -kv[1])
+        """Algorithms by slot share, descending; equal shares break
+        alphabetically so rankings are deterministic."""
+        return sorted(self.slot_share.items(),
+                      key=lambda kv: (-kv[1], kv[0]))
 
     def top_algorithms(self, n: int = 3) -> list[str]:
         return [name for name, _share in self.ranked()[:n]]

@@ -22,6 +22,7 @@ from scipy.spatial.distance import pdist
 
 from repro._util.errors import ValidationError
 from repro.behavior.space import BehaviorSpace
+from repro.ensemble.budgets import REPORT_SAMPLES
 from repro.ensemble.ensemble import Ensemble
 
 
@@ -58,7 +59,7 @@ def mean_min_distance(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 100_000,
+    n_samples: int = REPORT_SAMPLES,
     seed: int = 0,
 ) -> float:
     """Average distance from uniform sample points to the nearest member.
@@ -69,8 +70,10 @@ def mean_min_distance(
         Pre-drawn sample points (reused across many evaluations by the
         search code); drawn fresh from ``space`` otherwise.
     n_samples, seed:
-        Sampling budget when ``samples`` is not supplied (the paper uses
-        10^6 points; Monte-Carlo error scales as 1/√n).
+        Sampling budget when ``samples`` is not supplied — the
+        *reporting* budget
+        (:data:`~repro.ensemble.budgets.REPORT_SAMPLES`); the paper
+        uses 10^6 points and Monte-Carlo error scales as 1/√n.
     """
     space = space or BehaviorSpace()
     mat = _as_matrix(ensemble, space)
@@ -79,7 +82,7 @@ def mean_min_distance(
     if samples is None:
         samples = space.sample(n_samples, seed=seed)
     tree = cKDTree(mat)
-    dists, _ = tree.query(samples, k=1)
+    dists, _ = tree.query(samples, k=1, workers=-1)
     return float(dists.mean())
 
 
@@ -88,7 +91,7 @@ def coverage(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 100_000,
+    n_samples: int = REPORT_SAMPLES,
     seed: int = 0,
 ) -> float:
     """Coverage = space diameter − mean minimum distance (higher is better).

@@ -3,34 +3,95 @@
 The paper asks, for each ensemble size N: which N of the 215 runs
 maximize spread (or coverage)? Exhaustive enumeration is infeasible
 beyond tiny sizes (C(215, 10) ≈ 10^16), so the search uses a beam over
-index-ordered subsets with O(1)-amortized incremental scoring:
+index-ordered subsets with incremental scoring:
 
 - **spread** — a state carries its pairwise-distance sum; extending by
-  candidate ``j`` adds ``Σ_{i∈state} P[j, i]``, read from a precomputed
-  pairwise matrix;
+  candidate ``j`` adds ``Σ_{i∈state} P[j, i]``;
 - **coverage** — a state carries the per-sample minimum distance to its
   members; extending by ``j`` takes an elementwise ``min`` with the
-  precomputed candidate-to-sample distance row ``D[j]``.
+  candidate-to-sample distance row ``D[j]``.
 
 The best beam state is then refined by swap local search. The same
 machinery returns the top-K ensembles for the paper's shadowing-free
 frequency analysis (Figures 20-21).
+
+Two engines implement this contract (DESIGN §15):
+
+``fast`` (default)
+    The blocked, batched, parallel engine in
+    :mod:`repro.ensemble.fast`: tiled distance kernels behind an LRU
+    byte budget, one matrix operation per beam level, incremental swap
+    refinement, and — for coverage — a lazy-greedy submodular selector
+    (``strategy="greedy"``) with the (1 − 1/e) guarantee.
+``legacy``
+    The original monolithic evaluator (full ``squareform(pdist(...))``
+    / ``cdist`` materialization, Python loop per beam state). Kept as
+    the bit-checked reference: both engines rank candidates through
+    the same tie-stable rule (:func:`repro.ensemble.fast.tie_sorted`),
+    so on equal scores (within 1e-12) both prefer the lexicographically
+    smallest index tuple and select identical ensembles.
+
+Select with the ``engine=`` argument or ``REPRO_ENSEMBLE_ENGINE``.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import math
+import os
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.spatial.distance import cdist, squareform, pdist
+from scipy.spatial.distance import cdist, pdist, squareform
 
 from repro._util.errors import ValidationError
 from repro.behavior.space import BehaviorSpace, BehaviorVector
+from repro.ensemble.budgets import SEARCH_SAMPLES, WIDE_SEARCH_SAMPLES
 from repro.ensemble.ensemble import Ensemble
+from repro.ensemble.fast import (
+    TIE_TOL,
+    FastEngine,
+    boundary_positions,
+    resolve_precision,
+    tie_argmax,
+    tie_sorted,
+)
+from repro.obs.telemetry import get_telemetry
 
 VALID_METRICS = ("spread", "coverage")
+VALID_ENGINES = ("fast", "legacy")
+VALID_STRATEGIES = ("beam", "greedy")
+
+#: Environment override for the default search engine.
+ENGINE_ENV = "REPRO_ENSEMBLE_ENGINE"
+
+
+def resolve_engine(engine: "str | None") -> str:
+    """Resolve an explicit engine or fall back to env / ``fast``."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or "fast"
+    if engine not in VALID_ENGINES:
+        raise ValidationError(
+            f"engine must be one of {VALID_ENGINES}")
+    return engine
+
+
+def _resolve_strategy(strategy: "str | None", metric: str,
+                      engine: str) -> str:
+    if strategy is None:
+        strategy = "beam"
+    if strategy not in VALID_STRATEGIES:
+        raise ValidationError(
+            f"strategy must be one of {VALID_STRATEGIES}")
+    if strategy == "greedy":
+        if metric != "coverage":
+            raise ValidationError(
+                "strategy='greedy' applies to the coverage metric only "
+                "(spread is not submodular over index-ordered subsets)")
+        if engine != "fast":
+            raise ValidationError(
+                "strategy='greedy' requires engine='fast'")
+    return strategy
 
 
 @dataclass(frozen=True)
@@ -120,12 +181,24 @@ class _Evaluator:
 
 
 def _beam_search(ev: _Evaluator, size: int, beam_width: int) -> list[tuple]:
-    """Top states of exactly ``size`` members via index-ordered beam."""
+    """Top states of exactly ``size`` members via index-ordered beam.
+
+    Tie-stable: per-state extension candidates keep everything within
+    :data:`~repro.ensemble.fast.TIE_TOL` of the local cut, and the
+    global per-level selection orders near-equal scores by index tuple
+    (:func:`~repro.ensemble.fast.tie_sorted`), so the surviving beam —
+    and hence the top-k sets feeding Figs 20-21 — is deterministic
+    across NumPy versions.
+    """
+    tel = get_telemetry()
     states = [ev.initial_state(i) for i in range(ev.n)]
     if size == 1:
         return states
     for _level in range(1, size):
-        scored: list[tuple[float, tuple]] = []
+        if tel.enabled:
+            tel.inc("ensemble_search_states_total", float(len(states)),
+                    metric=ev.metric, engine="legacy")
+        scored: list[tuple[float, tuple, tuple]] = []
         for state in states:
             last = state[0][-1]
             length = len(state[0])
@@ -137,18 +210,16 @@ def _beam_search(ev: _Evaluator, size: int, beam_width: int) -> list[tuple]:
             if candidates.size == 0:
                 continue
             cand_scores = ev.scores_of_extensions(state, candidates)
-            # Keep only the locally best extensions to bound work.
-            keep = min(beam_width, candidates.size)
-            top = np.argpartition(cand_scores, -keep)[-keep:]
-            for t in top:
-                scored.append((float(cand_scores[t]),
-                               ev.extend(state, int(candidates[t]))))
+            # Keep the locally best extensions (with tie slack) to
+            # bound work.
+            for t in boundary_positions(cand_scores, beam_width):
+                extended = ev.extend(state, int(candidates[t]))
+                scored.append((float(cand_scores[t]), extended[0], extended))
         if not scored:
             raise ValidationError(
                 f"pool of {ev.n} cannot form an ensemble of size {size}"
             )
-        scored.sort(key=lambda pair: pair[0], reverse=True)
-        states = [state for _score, state in scored[:beam_width]]
+        states = [item[2] for item in tie_sorted(scored)[:beam_width]]
     return states
 
 
@@ -159,7 +230,8 @@ def _swap_refine(ev: _Evaluator, indices: tuple[int, ...],
     Each position's replacement candidates are scored in one vectorized
     sweep: for spread via the pairwise matrix, for coverage via a
     min over the remaining members' sample distances plus the
-    candidate's row.
+    candidate's row. Replacement ties (within
+    :data:`~repro.ensemble.fast.TIE_TOL`) go to the smallest index.
     """
     current = list(indices)
     best_score = ev.score_indices(current)
@@ -180,8 +252,8 @@ def _swap_refine(ev: _Evaluator, indices: tuple[int, ...],
                 mins = np.minimum(payload[None, :], ev.D)
                 scores = ev.space.diameter - mins.mean(axis=1)
             scores[current] = -np.inf  # keep members distinct
-            j = int(np.argmax(scores))
-            if scores[j] > best_score + 1e-12:
+            j = tie_argmax(scores)
+            if scores[j] > best_score + TIE_TOL:
                 current[pos] = j
                 best_score = float(scores[j])
                 improved = True
@@ -202,33 +274,60 @@ def _make_evaluator(pool, metric, space, samples, n_samples, seed):
     return ev, vectors, space
 
 
-def _best_with_evaluator(
-    ev: _Evaluator,
-    vectors: list,
-    size: int,
-    metric: str,
-    beam_width: int,
-    refine: bool,
-) -> SearchResult:
-    """Beam search + optional swap refinement over a built evaluator."""
+def _make_engine(mat, metric, space, samples, n_samples, seed,
+                 block_bytes, precision, workers) -> FastEngine:
+    return FastEngine(mat, metric, space=space, samples=samples,
+                      n_samples=n_samples, seed=seed,
+                      block_bytes=block_bytes,
+                      dtype=resolve_precision(precision),
+                      workers=workers)
+
+
+def _make_searcher(pool, metric, space, samples, n_samples, seed,
+                   engine, block_bytes, precision, workers):
+    """Build the requested engine over a vector pool."""
+    space = space or BehaviorSpace()
+    if isinstance(pool, Ensemble):
+        vectors = list(pool.members)
+    else:
+        vectors = list(pool)
+    mat = space.to_matrix(vectors)
+    if engine == "legacy":
+        searcher = _Evaluator(mat, metric, space=space, samples=samples,
+                              n_samples=n_samples, seed=seed)
+    else:
+        searcher = _make_engine(mat, metric, space, samples, n_samples,
+                                seed, block_bytes, precision, workers)
+    return searcher, vectors, space
+
+
+def _search_best(searcher, size, metric, beam_width, refine, strategy):
+    """One best-of-size search over a built engine/evaluator."""
     if size < 1:
         raise ValidationError("size must be >= 1")
-    if size > ev.n:
-        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
-    states = _beam_search(ev, size, beam_width)
-    best_state = max(states, key=ev.score)
-    indices = best_state[0]
-    score = ev.score(best_state)
-    if refine:
-        indices, score = _swap_refine(ev, indices)
-    members = tuple(vectors[i] for i in indices)
-    return SearchResult(
-        ensemble=Ensemble(members=members,
-                          name=f"best-{metric}-{size}"),
-        score=float(score),
-        indices=tuple(indices),
-        metric=metric,
-    )
+    n = searcher.n
+    if size > n:
+        raise ValidationError(f"cannot pick {size} of {n} runs")
+    engine = "legacy" if isinstance(searcher, _Evaluator) else "fast"
+    tel = get_telemetry()
+    with tel.span("ensemble_search", metric=metric, engine=engine,
+                  size=size, strategy=strategy):
+        if engine == "legacy":
+            states = _beam_search(searcher, size, beam_width)
+            ordered = tie_sorted(
+                [(searcher.score(s), s[0]) for s in states])
+            score, indices = ordered[0][0], ordered[0][1]
+            if refine:
+                indices, score = _swap_refine(searcher, indices)
+        elif strategy == "greedy":
+            indices, score = searcher.greedy(size)
+            if refine:
+                indices, score = searcher.refine(indices)
+        else:
+            score, indices = tie_sorted(searcher.beam(size, beam_width))[0]
+            if refine:
+                indices, score = searcher.refine(indices)
+    return tuple(int(i) for i in indices), float(score)
 
 
 def best_ensemble(
@@ -238,23 +337,44 @@ def best_ensemble(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 4_000,
+    n_samples: int = SEARCH_SAMPLES,
     seed: int = 0,
     beam_width: int = 64,
     refine: bool = True,
+    engine: "str | None" = None,
+    strategy: "str | None" = None,
+    block_bytes: "int | None" = None,
+    precision: "str | None" = None,
+    workers: "int | None" = None,
 ) -> SearchResult:
     """Find the (approximately) best size-``size`` ensemble in the pool.
 
-    ``n_samples`` is the coverage search budget; re-score the result
-    with :func:`repro.ensemble.metrics.coverage` at full budget for
-    reporting.
+    ``n_samples`` is the coverage *search* budget
+    (:data:`~repro.ensemble.budgets.SEARCH_SAMPLES`); re-score the
+    result with :func:`repro.ensemble.metrics.coverage` at the
+    reporting budget before quoting it. ``engine`` picks the fast
+    blocked engine (default) or the legacy reference;
+    ``strategy="greedy"`` (coverage only) swaps the beam for the
+    lazy-greedy submodular selector. ``block_bytes`` /
+    ``precision`` / ``workers`` tune the fast engine's distance tiles.
     """
     if size < 1:
         raise ValidationError("size must be >= 1")
-    ev, vectors, space = _make_evaluator(pool, metric, space, samples,
-                                         n_samples, seed)
-    return _best_with_evaluator(ev, vectors, size, metric, beam_width,
-                                refine)
+    engine = resolve_engine(engine)
+    strategy = _resolve_strategy(strategy, metric, engine)
+    searcher, vectors, space = _make_searcher(
+        pool, metric, space, samples, n_samples, seed,
+        engine, block_bytes, precision, workers)
+    indices, score = _search_best(searcher, size, metric, beam_width,
+                                  refine, strategy)
+    members = tuple(vectors[i] for i in indices)
+    return SearchResult(
+        ensemble=Ensemble(members=members,
+                          name=f"best-{metric}-{size}"),
+        score=score,
+        indices=indices,
+        metric=metric,
+    )
 
 
 def top_k_ensembles(
@@ -265,32 +385,47 @@ def top_k_ensembles(
     k: int = 100,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 2_000,
+    n_samples: int = WIDE_SEARCH_SAMPLES,
     seed: int = 0,
     beam_width: int = 400,
+    engine: "str | None" = None,
+    block_bytes: "int | None" = None,
+    precision: "str | None" = None,
+    workers: "int | None" = None,
 ) -> list[SearchResult]:
     """The ``k`` best size-``size`` ensembles found by a wide beam.
 
     Used for the paper's shadowing analysis (Section 5.5): within the
     100 best ensembles, the frequency of appearance of each algorithm
-    indicates its contribution to diversity.
+    indicates its contribution to diversity. ``n_samples`` defaults to
+    the wide-beam budget
+    (:data:`~repro.ensemble.budgets.WIDE_SEARCH_SAMPLES`).
     """
     if k < 1:
         raise ValidationError("k must be >= 1")
-    ev, vectors, space = _make_evaluator(pool, metric, space, samples,
-                                         n_samples, seed)
-    if size > ev.n:
-        raise ValidationError(f"cannot pick {size} of {ev.n} runs")
-    states = _beam_search(ev, size, max(beam_width, k))
-    scored = [(ev.score(s), s[0]) for s in states]
-    top = heapq.nlargest(k, scored, key=lambda pair: pair[0])
+    engine = resolve_engine(engine)
+    searcher, vectors, space = _make_searcher(
+        pool, metric, space, samples, n_samples, seed,
+        engine, block_bytes, precision, workers)
+    if size > searcher.n:
+        raise ValidationError(f"cannot pick {size} of {searcher.n} runs")
+    tel = get_telemetry()
+    with tel.span("ensemble_search", metric=metric, engine=engine,
+                  size=size, strategy="beam"):
+        width = max(beam_width, k)
+        if engine == "legacy":
+            states = _beam_search(searcher, size, width)
+            ordered = tie_sorted(
+                [(searcher.score(s), s[0]) for s in states])
+        else:
+            ordered = tie_sorted(searcher.beam(size, width))
     results = []
-    for score, indices in top:
+    for score, indices in ordered[:k]:
         members = tuple(vectors[i] for i in indices)
         results.append(SearchResult(
             ensemble=Ensemble(members=members, name=f"top-{metric}-{size}"),
             score=float(score),
-            indices=tuple(indices),
+            indices=tuple(int(i) for i in indices),
             metric=metric,
         ))
     return results
@@ -303,23 +438,41 @@ def best_ensemble_curve(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 4_000,
+    n_samples: int = SEARCH_SAMPLES,
     seed: int = 0,
     beam_width: int = 64,
     refine: bool = True,
+    engine: "str | None" = None,
+    strategy: "str | None" = None,
+    block_bytes: "int | None" = None,
+    precision: "str | None" = None,
+    workers: "int | None" = None,
 ) -> dict[int, SearchResult]:
     """Best ensembles across a range of sizes (the Figs 14-19 curves).
 
-    The :class:`_Evaluator` — the full pairwise-distance matrix for
-    spread, the candidate-to-sample distance matrix for coverage — is
+    The engine — blocked distance tiles for the fast path, the full
+    pairwise / candidate-to-sample matrix for the legacy one — is
     built once and shared by every size, so a 20-point curve pays for
-    one ``pdist``/``cdist`` instead of 20.
+    one distance materialization instead of 20.
     """
-    ev, vectors, _space = _make_evaluator(pool, metric, space, samples,
-                                          n_samples, seed)
-    return {int(size): _best_with_evaluator(ev, vectors, int(size), metric,
-                                            beam_width, refine)
-            for size in sizes}
+    engine = resolve_engine(engine)
+    strategy = _resolve_strategy(strategy, metric, engine)
+    searcher, vectors, _space = _make_searcher(
+        pool, metric, space, samples, n_samples, seed,
+        engine, block_bytes, precision, workers)
+    curve: dict[int, SearchResult] = {}
+    for size in sizes:
+        indices, score = _search_best(searcher, int(size), metric,
+                                      beam_width, refine, strategy)
+        members = tuple(vectors[i] for i in indices)
+        curve[int(size)] = SearchResult(
+            ensemble=Ensemble(members=members,
+                              name=f"best-{metric}-{int(size)}"),
+            score=score,
+            indices=indices,
+            metric=metric,
+        )
+    return curve
 
 
 def best_subset(
@@ -329,10 +482,15 @@ def best_subset(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 4_000,
+    n_samples: int = SEARCH_SAMPLES,
     seed: int = 0,
     beam_width: int = 64,
     refine: bool = True,
+    engine: "str | None" = None,
+    strategy: "str | None" = None,
+    block_bytes: "int | None" = None,
+    precision: "str | None" = None,
+    workers: "int | None" = None,
 ) -> tuple[tuple[int, ...], float]:
     """Dimension-agnostic best-subset search over raw coordinates.
 
@@ -350,14 +508,17 @@ def best_subset(
     if space.dims != points.shape[1]:
         raise ValidationError(
             f"points have {points.shape[1]} dims, space has {space.dims}")
-    ev = _Evaluator(points, metric, space=space, samples=samples,
-                    n_samples=n_samples, seed=seed)
-    states = _beam_search(ev, size, beam_width)
-    best_state = max(states, key=ev.score)
-    indices, score = best_state[0], ev.score(best_state)
-    if refine:
-        indices, score = _swap_refine(ev, indices)
-    return tuple(indices), float(score)
+    engine = resolve_engine(engine)
+    strategy = _resolve_strategy(strategy, metric, engine)
+    if engine == "legacy":
+        searcher = _Evaluator(points, metric, space=space, samples=samples,
+                              n_samples=n_samples, seed=seed)
+    else:
+        searcher = _make_engine(points, metric, space, samples, n_samples,
+                                seed, block_bytes, precision, workers)
+    indices, score = _search_best(searcher, size, metric, beam_width,
+                                  refine, strategy)
+    return indices, score
 
 
 def exhaustive_best(
@@ -367,15 +528,21 @@ def exhaustive_best(
     *,
     space: BehaviorSpace | None = None,
     samples: np.ndarray | None = None,
-    n_samples: int = 2_000,
+    n_samples: int = WIDE_SEARCH_SAMPLES,
     seed: int = 0,
     limit: int = 500_000,
 ) -> SearchResult:
     """Exact search by enumeration; refuses when C(n, size) exceeds
-    ``limit``. Used by tests to validate the beam search."""
+    ``limit``. Used by tests to validate the beam search and the
+    lazy-greedy (1 − 1/e) guarantee.
+
+    Tie-stable: combinations are enumerated in lexicographic order and
+    a later combination only displaces the incumbent when it scores
+    more than :data:`~repro.ensemble.fast.TIE_TOL` better, so equal
+    scores keep the lexicographically smallest index tuple.
+    """
     ev, vectors, space = _make_evaluator(pool, metric, space, samples,
                                          n_samples, seed)
-    import math
     total = math.comb(ev.n, size)
     if total > limit:
         raise ValidationError(
@@ -385,7 +552,7 @@ def exhaustive_best(
     best_score = -np.inf
     for combo in itertools.combinations(range(ev.n), size):
         s = ev.score_indices(combo)
-        if s > best_score:
+        if s > best_score + TIE_TOL:
             best_score, best_indices = s, combo
     members = tuple(vectors[i] for i in best_indices)
     return SearchResult(

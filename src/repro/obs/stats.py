@@ -250,6 +250,46 @@ def render_stats(run_dir: "str | Path", *,
     if extras:
         sections.append("\n".join(extras))
 
+    # Ensemble search: per-search walls, states scored, tile cache.
+    search_rows = []
+    for entry in _entries(snapshot, "histograms", "ensemble_search_seconds"):
+        labels = entry.get("labels", {})
+        search_rows.append([
+            labels.get("metric", "?"), labels.get("engine", "?"),
+            labels.get("strategy", "?"), labels.get("size", "?"),
+            int(entry.get("count", 0)),
+            _fmt_s(float(entry.get("sum", 0.0))),
+        ])
+    if search_rows:
+        search_rows.sort(key=lambda r: (
+            r[0], r[1], r[2], int(r[3]) if str(r[3]).isdigit() else 0))
+        sections.append(format_table(
+            ["metric", "engine", "strategy", "size", "searches",
+             "total s"],
+            search_rows, title="Ensemble search"))
+    search_extras = []
+    states = _by_label(snapshot, "ensemble_search_states_total", "engine")
+    if states:
+        search_extras.append("ensemble states scored: " + ", ".join(
+            f"{eng}={int(n)}" for eng, n in sorted(states.items())))
+    cache = _by_label(snapshot, "ensemble_block_cache_total", "outcome")
+    if cache:
+        hits = cache.get("hit", 0.0)
+        lookups = sum(cache.values()) or 1.0
+        search_extras.append(
+            f"distance-tile cache: {int(hits)}/{int(lookups)} hits "
+            f"({100.0 * hits / lookups:.1f}%)")
+    for entry in _entries(snapshot, "histograms",
+                          "ensemble_greedy_reevaluations"):
+        count = int(entry.get("count", 0)) or 1
+        mean = float(entry.get("sum", 0.0)) / count
+        search_extras.append(
+            f"greedy gain re-evaluations: mean {mean:.1f}/step "
+            f"over {count} steps")
+        break
+    if search_extras:
+        sections.append("\n".join(search_extras))
+
     # Iteration latency percentiles per engine/algorithm.
     latency_rows = []
     for entry in _entries(snapshot, "histograms",

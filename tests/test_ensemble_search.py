@@ -88,26 +88,87 @@ class TestBestEnsemble:
         # the two farthest points are in).
         assert curve[2].score >= curve[4].score >= curve[6].score
 
-    def test_curve_builds_evaluator_once(self, monkeypatch):
+    @pytest.mark.parametrize("engine,cls_name", [
+        ("fast", "FastEngine"), ("legacy", "_Evaluator")])
+    def test_curve_builds_engine_once(self, monkeypatch, engine, cls_name):
+        from repro.ensemble import fast as fast_mod
         from repro.ensemble import search as search_mod
 
+        mod = fast_mod if engine == "fast" else search_mod
         calls = []
-        original = search_mod._Evaluator.__init__
+        original = getattr(mod, cls_name).__init__
 
         def counting(self, *args, **kwargs):
             calls.append(1)
             return original(self, *args, **kwargs)
 
-        monkeypatch.setattr(search_mod._Evaluator, "__init__", counting)
+        monkeypatch.setattr(getattr(mod, cls_name), "__init__", counting)
         pool = random_pool(15, seed=9)
-        curve = best_ensemble_curve(pool, [2, 3, 4, 5], "spread")
-        assert len(calls) == 1, "curve must share one evaluator"
-        # Sharing the evaluator changes nothing about the results.
+        curve = best_ensemble_curve(pool, [2, 3, 4, 5], "spread",
+                                    engine=engine)
+        assert len(calls) == 1, "curve must share one engine"
+        # Sharing the engine changes nothing about the results.
         for size in (2, 5):
-            solo = best_ensemble(pool, size, "spread")
+            solo = best_ensemble(pool, size, "spread", engine=engine)
             assert curve[size].indices == solo.indices
             assert curve[size].score == pytest.approx(solo.score,
                                                       rel=1e-12)
+
+
+class TestTieStability:
+    """On equal scores the search prefers the lexicographically
+    smallest index tuple (Figs 20-21 determinism)."""
+
+    def grid_pool(self):
+        # The 8 corners of a cube embedded in the 4-d space: every
+        # size-2 ensemble of adjacent corners ties exactly, as do many
+        # larger subsets — maximal tie pressure.
+        corners = [(x, y, z, 0.5) for x in (0.1, 0.9)
+                   for y in (0.1, 0.9) for z in (0.1, 0.9)]
+        return [BehaviorVector(*c, tag=("a", 1, 2.0)) for c in corners]
+
+    @pytest.mark.parametrize("engine", ["fast", "legacy"])
+    @pytest.mark.parametrize("metric", ["spread", "coverage"])
+    def test_beam_prefers_smallest_tuple(self, engine, metric):
+        pool = self.grid_pool()
+        samples = BehaviorSpace().sample(500, seed=0)
+        res = best_ensemble(pool, 2, metric, samples=samples,
+                            refine=False, engine=engine)
+        peers = [r for r in top_k_ensembles(pool, 2, metric, k=30,
+                                            samples=samples, engine=engine)
+                 if abs(r.score - res.score) <= 1e-9]
+        assert res.indices == min(p.indices for p in peers)
+
+    @pytest.mark.parametrize("metric", ["spread", "coverage"])
+    def test_engines_agree_under_ties(self, metric):
+        pool = self.grid_pool()
+        samples = BehaviorSpace().sample(500, seed=0)
+        for size in (2, 3, 4):
+            fast = best_ensemble(pool, size, metric, samples=samples,
+                                 engine="fast")
+            legacy = best_ensemble(pool, size, metric, samples=samples,
+                                   engine="legacy")
+            assert fast.indices == legacy.indices
+            assert fast.score == pytest.approx(legacy.score, abs=1e-9)
+
+    def test_exhaustive_prefers_smallest_tuple(self):
+        pool = self.grid_pool()
+        exact = exhaustive_best(pool, 2, "spread")
+        # All 12 cube edges tie at the edge length; (0, 1) is the
+        # lexicographically smallest of them — but the face and body
+        # diagonals score higher, so the winner is the smallest tuple
+        # among the 4 tying body diagonals: (0, 7).
+        assert exact.indices == (0, 7)
+
+    def test_top_k_deterministic(self):
+        pool = self.grid_pool()
+        a = top_k_ensembles(pool, 3, "spread", k=12)
+        b = top_k_ensembles(pool, 3, "spread", k=12)
+        assert [r.indices for r in a] == [r.indices for r in b]
+        # ties inside the list are ordered by index tuple
+        for first, second in zip(a, a[1:]):
+            if abs(first.score - second.score) <= 1e-12:
+                assert first.indices < second.indices
 
 
 class TestTopK:
