@@ -5,6 +5,13 @@ pass — to vectors exactly matching an undisturbed build, with zero
 unexpected failures, no leaked shared-memory segments, and no leaked
 worksite/heartbeat files.
 
+The chaos build runs with full observability and must additionally
+reconstruct as **one connected trace with zero orphan spans** (every
+retried/re-dispatched attempt re-derives its cell span), and its
+critical-path decomposition must account for the build wall to within
+10%.  Trace + critical-path reports are written to
+``$SMOKE_ARTIFACT_DIR`` (when set) for CI artifact upload.
+
 Run from the repo root (CI wraps it in a wall-clock timeout)::
 
     PYTHONPATH=src python scripts/chaos_smoke.py
@@ -23,6 +30,9 @@ from pathlib import Path
 from repro.experiments.config import ExperimentMatrix, Profile
 from repro.experiments.corpus import build_corpus, run_cache_key
 from repro.experiments.results import ResultStore
+from repro.obs.critpath import critical_path, render_critical_path
+from repro.obs.events import read_all_events
+from repro.obs.tracing import build_span_tree, list_traces, render_trace
 
 #: Small enough to finish in well under a minute, large enough to span
 #: every generator family and exercise the shared-memory graph plane.
@@ -80,11 +90,13 @@ def main() -> None:
     os.environ["REPRO_INJECT_STALL_TOKENS"] = str(stall_tokens)
 
     print("== supervised build under SIGKILL + stall injection ==")
+    obs_dir = workdir / "obs"
     corpus = build_corpus(
         PROFILE, store=ResultStore(workdir / "chaos"), workers=2,
         retries=0, checkpoint_dir=workdir / "snaps", checkpoint_every="1",
         lease_timeout_s=2.0, heartbeat_every_s=0.25,
-        max_lease_expiries=N_KILL_TOKENS + 3)
+        max_lease_expiries=N_KILL_TOKENS + 3,
+        obs="full", obs_dir=obs_dir)
     for env in ("REPRO_CHAOS_KILL", "REPRO_INJECT_STALL",
                 "REPRO_INJECT_STALL_TOKENS"):
         os.environ.pop(env, None)
@@ -104,6 +116,35 @@ def main() -> None:
     if actual != expected:
         fail("chaos build vectors differ from the clean build")
 
+    # -- causal-trace contract: one connected tree, zero orphans, and
+    # a critical path that accounts for the wall despite the chaos.
+    events = read_all_events(obs_dir)
+    traces = list_traces(events)
+    if len(traces) != 1:
+        fail(f"expected one trace, found {traces}")
+    tree = build_span_tree(events)
+    if tree.orphans:
+        fail(f"{len(tree.orphans)} orphan spans — events were lost: "
+             f"{[n.name or n.span_id for n in tree.orphans]}")
+    if len(tree.roots) != 1:
+        fail(f"trace has {len(tree.roots)} roots, want exactly the "
+             f"build span")
+    cp = critical_path(events)
+    total = sum(cp["decomposition"].values())
+    wall = cp["reported_wall_s"]
+    if abs(total - wall) > 0.10 * wall + 0.5:
+        fail(f"critical-path decomposition ({total:.3f}s) strays >10% "
+             f"from the build wall ({wall:.3f}s)")
+    artifact_dir = os.environ.get("SMOKE_ARTIFACT_DIR")
+    if artifact_dir:
+        out = Path(artifact_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "chaos-trace.txt").write_text(
+            render_trace(events), encoding="utf-8")
+        (out / "chaos-critical-path.txt").write_text(
+            render_critical_path(events), encoding="utf-8")
+        print(f"trace/critical-path artifacts written to {out}")
+
     leaked_shm = set(glob.glob("/dev/shm/repro-shm-*")) - pre_segments
     if leaked_shm:
         fail(f"leaked shared-memory segments: {sorted(leaked_shm)}")
@@ -114,7 +155,9 @@ def main() -> None:
 
     print(f"CHAOS-SMOKE PASS: {corpus.n_runs} runs bit-identical under "
           f"{corpus.workers_replaced} worker replacements and "
-          f"{corpus.lease_expiries} lease expiries")
+          f"{corpus.lease_expiries} lease expiries; trace "
+          f"{tree.trace_id} connected ({len(tree.nodes)} spans, "
+          f"0 orphans), critical path {total:.3f}s vs wall {wall:.3f}s")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,11 @@ and asserts the robustness contract end to end:
 - every revoked lease was re-dispatched (requeues >= 1, all cells
   resolved),
 - the queue directory is swept away and no shared-memory or
-  heartbeat artifacts leak.
+  heartbeat artifacts leak,
+- the full-obs event log reconstructs as **one connected trace with
+  zero orphan spans** across the killed node, the fenced zombie, and
+  every re-dispatch (trace + critical-path reports are written to
+  ``$SMOKE_ARTIFACT_DIR`` when set, for CI artifact upload).
 
 Exit 0 on success. The whole run is bounded by ``--timeout`` seconds
 (default 300) so CI can never hang on it.
@@ -125,12 +129,14 @@ def run(timeout_s: float, keep: bool) -> int:
                         {"REPRO_INJECT_NODE_FREEZE": f"*:{FREEZE_S}"}),
         ]
         t0 = time.monotonic()
+        obs_dir = scratch / "obs"
         dist = build_corpus(profile,
                             store=ResultStore(scratch / "store-dist"),
                             workers=1,
                             distributed=queue_dir,
                             lease_timeout_s=LEASE_TIMEOUT_S,
-                            heartbeat_every_s=HEARTBEAT_S)
+                            heartbeat_every_s=HEARTBEAT_S,
+                            obs="full", obs_dir=obs_dir)
         log(f"distributed: {len(dist.runs)} runs, "
             f"{len(dist.failures)} failures, "
             f"nodes seen {dist.nodes_seen}, lost {dist.nodes_lost}, "
@@ -175,6 +181,44 @@ def run(timeout_s: float, keep: bool) -> int:
         if agents[1].returncode != 0:
             return fail("sleeper agent should recover and exit 0, "
                         f"got {agents[1].returncode}")
+
+        # --- the causal-trace contract ----------------------------------
+        from repro.obs.critpath import critical_path, render_critical_path
+        from repro.obs.events import read_all_events
+        from repro.obs.tracing import (build_span_tree, list_traces,
+                                       render_trace)
+        events = read_all_events(obs_dir)
+        traces = list_traces(events)
+        if len(traces) != 1:
+            return fail(f"expected one trace across the killed node and "
+                        f"every re-dispatch, found {traces}")
+        tree = build_span_tree(events)
+        if tree.orphans:
+            return fail(f"{len(tree.orphans)} orphan spans — node "
+                        f"events were lost: "
+                        f"{[n.name or n.span_id for n in tree.orphans]}")
+        if len(tree.roots) != 1:
+            return fail(f"trace has {len(tree.roots)} roots, want "
+                        f"exactly the build span")
+        cp = critical_path(events)
+        total = sum(cp["decomposition"].values())
+        wall = cp["reported_wall_s"]
+        if abs(total - wall) > 0.10 * wall + 0.5:
+            return fail(f"critical-path decomposition ({total:.3f}s) "
+                        f"strays >10% from the build wall "
+                        f"({wall:.3f}s)")
+        artifact_dir = os.environ.get("SMOKE_ARTIFACT_DIR")
+        if artifact_dir:
+            out = Path(artifact_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "dist-trace.txt").write_text(
+                render_trace(events), encoding="utf-8")
+            (out / "dist-critical-path.txt").write_text(
+                render_critical_path(events), encoding="utf-8")
+            log(f"trace/critical-path artifacts written to {out}")
+        log(f"trace {tree.trace_id} connected: {len(tree.nodes)} spans, "
+            f"0 orphans; critical path {total:.3f}s vs wall {wall:.3f}s")
+
         log("OK: bit-identical under chaos, fencing held, no leaks")
         return 0
     except TimeoutError as exc:

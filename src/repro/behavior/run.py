@@ -149,7 +149,7 @@ def run_computation(
     RunTimeoutError
         If the run exceeds ``timeout_s`` of wall-clock time.
     """
-    from repro.obs.telemetry import get_telemetry, peak_rss_bytes
+    from repro.obs.telemetry import get_telemetry
 
     record = info(algorithm)
     merged_options = dict(options or {})
@@ -221,5 +221,5 @@ def run_computation(
         trace.meta["timeout_enforced"] = enforcement.enforced
         if tel.enabled:
             tel.inc("runs_total", algorithm=algorithm)
-            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
+            tel.record_peak_rss()
         return trace

@@ -33,6 +33,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -277,6 +278,70 @@ def _build_parser() -> argparse.ArgumentParser:
     sta.add_argument("--node", default=None, metavar="ID",
                      help="restrict event-derived sections to one "
                           "node of a distributed build")
+    sta.add_argument("--format", choices=("table", "json"),
+                     default="table",
+                     help="human tables (default) or a machine-"
+                          "readable JSON payload for CI / services")
+
+    trc = sub.add_parser(
+        "trace",
+        help="render a build's causal span tree + ASCII timeline")
+    trc.add_argument("run_dir",
+                     help="observability directory (or its parent) "
+                          "holding events.jsonl")
+    trc.add_argument("--trace-id", default=None, metavar="ID",
+                     help="trace to render when the log holds several "
+                          "(default: the first one seen)")
+    trc.add_argument("--cell", default=None, metavar="LABEL",
+                     help="render only the span subtree of one cell "
+                          "(e.g. 'pagerank@ga-ne1000-a2.0')")
+    trc.add_argument("--max-depth", type=int, default=None,
+                     help="limit tree depth (default: unlimited)")
+    trc.add_argument("--check", action="store_true",
+                     help="exit 1 if any orphan span is found "
+                          "(CI / chaos-smoke gate)")
+
+    crt = sub.add_parser(
+        "critical-path",
+        help="decompose a build's wall clock along its critical path")
+    crt.add_argument("run_dir",
+                     help="observability directory (or its parent) "
+                          "holding events.jsonl")
+    crt.add_argument("--format", choices=("table", "json"),
+                     default="table",
+                     help="human report (default) or the raw JSON "
+                          "decomposition")
+    crt.add_argument("--max-chain", type=int, default=30,
+                     help="path segments to print (default: 30)")
+
+    ben = sub.add_parser(
+        "bench", help="benchmark artifact utilities")
+    ben_sub = ben.add_subparsers(dest="bench_command", required=True)
+    cmp_ = ben_sub.add_parser(
+        "compare",
+        help="diff BENCH_*.json artifacts against a baseline with "
+             "regression thresholds (warn-then-fail gate)")
+    cmp_.add_argument("baseline",
+                      help="directory holding the baseline BENCH_*.json")
+    cmp_.add_argument("candidate",
+                      help="directory holding the candidate BENCH_*.json")
+    cmp_.add_argument("--warn-pct", type=float, default=10.0,
+                      help="regression %% that triggers a warning "
+                           "(default: 10)")
+    cmp_.add_argument("--fail-pct", type=float, default=25.0,
+                      help="regression %% that fails the command "
+                           "(default: 25)")
+    cmp_.add_argument("--strict", action="store_true",
+                      help="also gate absolute wall/throughput metrics "
+                           "(use when both sides ran on one machine)")
+    cmp_.add_argument("--artifact", action="append", default=None,
+                      metavar="NAME",
+                      help="compare only this artifact (repeatable; "
+                           "default: all known BENCH_*.json)")
+    cmp_.add_argument("--format", choices=("table", "json"),
+                      default="table",
+                      help="human report (default) or the raw JSON "
+                           "comparison")
 
     tai = sub.add_parser(
         "tail", help="print or follow a run's structured event log")
@@ -358,6 +423,13 @@ def _configure_cli_obs(args) -> "tuple | None":
     run_id = uuid.uuid4().hex[:12]
     tel = configure(level, run_id=run_id,
                     events_path=obs_path / EVENTS_FILENAME)
+    # One-shot commands keep a random run id (no resume semantics to
+    # re-link), but still root a trace so `repro trace` renders the
+    # command's span tree.
+    from repro.obs.tracing import TraceContext, derive_id
+
+    trace_id = derive_id("cli", run_id)
+    tel.set_trace(TraceContext(trace_id, derive_id(trace_id, "run")))
     tel.emit("run_start", command=args.command,
              algorithm=getattr(args, "algorithm", None), level=level)
     return obs_path, run_id, level
@@ -695,10 +767,67 @@ def _run_metadata_section(store_dir: "str | None") -> "str | None":
 
 
 def _cmd_stats(args) -> int:
-    from repro.obs.stats import render_stats
+    import json as _json
 
-    print(render_stats(args.run_dir, node=args.node))
+    from repro.obs.stats import render_stats, stats_payload
+
+    if args.format == "json":
+        print(_json.dumps(stats_payload(args.run_dir, node=args.node),
+                          indent=2, sort_keys=True, default=str))
+    else:
+        print(render_stats(args.run_dir, node=args.node))
     return 0
+
+
+def _trace_events(run_dir):
+    from repro.obs.events import read_all_events
+    from repro.obs.stats import resolve_run_dir
+
+    return read_all_events(resolve_run_dir(run_dir))
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.tracing import build_span_tree, render_trace
+
+    events = _trace_events(args.run_dir)
+    print(render_trace(events, trace_id=args.trace_id, cell=args.cell,
+                       max_depth=args.max_depth))
+    if args.check:
+        tree = build_span_tree(events, args.trace_id)
+        if not tree.nodes or tree.orphans:
+            return 1
+    return 0
+
+
+def _cmd_critical_path(args) -> int:
+    import json as _json
+
+    from repro.obs.critpath import critical_path, render_critical_path
+
+    events = _trace_events(args.run_dir)
+    if args.format == "json":
+        print(_json.dumps(critical_path(events), indent=2,
+                          sort_keys=True, default=str))
+    else:
+        print(render_critical_path(events, max_chain=args.max_chain))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from repro.obs.benchdiff import compare_artifacts, render_bench_compare
+
+    report = compare_artifacts(
+        args.baseline, args.candidate,
+        warn_pct=args.warn_pct, fail_pct=args.fail_pct,
+        strict=args.strict,
+        artifacts=tuple(args.artifact) if args.artifact else None)
+    if args.format == "json":
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_bench_compare(report))
+    return 1 if report["failed"] else 0
 
 
 def _cmd_tail(args) -> int:
@@ -757,6 +886,9 @@ _COMMANDS = {
     "ensemble": _cmd_ensemble,
     "report": _cmd_report,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
+    "critical-path": _cmd_critical_path,
+    "bench": _cmd_bench,
     "tail": _cmd_tail,
     "node": _cmd_node,
 }
@@ -771,6 +903,12 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Report commands (trace, critical-path, stats, tail) are made
+        # to be piped; a closed reader (`| head`) is not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import os
 import time
-import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -51,9 +50,9 @@ from repro.obs.telemetry import (
     configure,
     deactivate,
     get_telemetry,
-    peak_rss_bytes,
     resolve_obs_level,
 )
+from repro.obs.tracing import TraceContext, derive_run_id
 
 
 @dataclass
@@ -293,6 +292,43 @@ def execute_planned_run(
     checkpoint_dir: "str | Path | None" = None,
     checkpoint_every: "str | None" = None,
 ) -> CorpusRun:
+    """Execute one cell under its causal span, then restore the
+    ambient context (see :func:`_execute_cell` for the semantics).
+
+    The cell span id is derived from the build trace + the cell's
+    cache key, so every attempt at this cell — retries, lease
+    re-dispatches after a SIGKILL, resumed builds — lands on the same
+    span node of the trace tree.
+    """
+    tel = get_telemetry()
+    base_trace = tel.trace
+    if base_trace is not None:
+        tel.set_trace(
+            base_trace.child("cell", run_cache_key(planned, profile)))
+    try:
+        return _execute_cell(planned, profile, store,
+                             timeout_s=timeout_s, retries=retries,
+                             resume=resume, health_policy=health_policy,
+                             health_check_every=health_check_every,
+                             checkpoint_dir=checkpoint_dir,
+                             checkpoint_every=checkpoint_every)
+    finally:
+        tel.set_trace(base_trace)
+
+
+def _execute_cell(
+    planned: PlannedRun,
+    profile: Profile,
+    store: "ResultStore | None" = None,
+    *,
+    timeout_s: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
+    health_policy: "str | None" = None,
+    health_check_every: "int | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "str | None" = None,
+) -> CorpusRun:
     """Execute one cell (or fetch it from the store), profile-configured.
 
     This is the corpus runner's crash-isolation boundary: *any*
@@ -385,7 +421,10 @@ def execute_planned_run(
 
     if tel.enabled:
         tel.set_context(cell=cell, attempt=1)
-        tel.emit("cell_start", timeout_s=timeout_s, retries=retries)
+        # ``key`` lets the critical-path analyser join this cell to
+        # its scheduler task ("run:<key>") for lease-latency splits.
+        tel.emit("cell_start", key=key, timeout_s=timeout_s,
+                 retries=retries)
     attempts = 0
     stalled_attempts = 0
     last_progress = snapshot_progress()
@@ -454,7 +493,7 @@ def execute_planned_run(
             tel.inc("corpus_cell_seconds_total", store_s, phase="store")
             tel.observe("corpus_cell_seconds", mat_s + eng_s + store_s,
                         algorithm=planned.algorithm)
-            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
+            tel.record_peak_rss()
             tel.emit("cell_end", status=status, source="run",
                      attempts=attempts, materialize_s=mat_s,
                      engine_s=eng_s, store_s=store_s,
@@ -495,14 +534,18 @@ def _isolated_execute(
 def _configure_worker_obs(obs_level: "str | None",
                           obs_dir: "str | None",
                           run_id: "str | None",
-                          node: "str | None" = None) -> None:
+                          node: "str | None" = None,
+                          trace: "dict | None" = None) -> None:
     """Point this pool worker's telemetry at its own sink file.
 
     Workers are forked, so they inherit the parent's registry (and its
     open handle on the parent's event log) — the first cell in each
     worker swaps that for a fresh registry writing to
     ``<obs_dir>/sinks/events-<pid>.jsonl``; later cells in the same
-    worker keep accumulating into it.
+    worker keep accumulating into it.  *trace* (a serialized
+    :class:`~repro.obs.tracing.TraceContext`) re-installs the build's
+    root causal context so worker-side cell spans derive the same ids
+    the parent would.
     """
     if not obs_level or obs_level == "off" or obs_dir is None:
         return
@@ -510,10 +553,12 @@ def _configure_worker_obs(obs_level: "str | None",
     if (tel.run_id == run_id and tel.events is not None
             and tel.events.path == worker_sink_path(obs_dir, os.getpid())):
         tel.set_node(node)
+        tel.set_trace(TraceContext.from_dict(trace))
         return
     tel = configure(obs_level, run_id=run_id,
                     events_path=worker_sink_path(obs_dir, os.getpid()))
     tel.set_node(node)
+    tel.set_trace(TraceContext.from_dict(trace))
 
 
 def _materialize_worker(spec: GraphSpec) -> "tuple[str, object]":
@@ -777,13 +822,18 @@ def build_corpus(
             obs_path = store.root / "obs"
         else:
             obs_path = Path(".repro_obs")
-        run_id = uuid.uuid4().hex[:12]
+        # Deterministic: a resumed build of the same (profile, seed)
+        # shares the run id — and the trace/span ids derived below —
+        # so its events extend the original trace instead of forking
+        # a new one (the re-link mechanism of repro.obs.tracing).
+        run_id = derive_run_id(profile.name, profile.seed)
         corpus.run_id = run_id
         corpus.obs_dir = str(obs_path)
         tel = configure(obs_level, run_id=run_id,
                         events_path=obs_path / EVENTS_FILENAME)
+        tel.set_trace(TraceContext.for_build(profile.name, profile.seed))
         tel.emit("build_start", profile=profile.name, workers=workers,
-                 planned=len(plan), level=obs_level)
+                 planned=len(plan), level=obs_level, seed=profile.seed)
     tel = get_telemetry()
 
     def stopped() -> bool:
@@ -838,6 +888,8 @@ def build_corpus(
                 "obs_dir": (str(obs_path.resolve())
                             if obs_path is not None else None),
                 "run_id": run_id,
+                "trace": (tel.trace.to_dict()
+                          if tel.trace is not None else None),
                 "lease_timeout_s": lease_timeout_s,
                 "heartbeat_every_s": heartbeat_every_s,
                 "max_lease_expiries": max_lease_expiries,
@@ -902,7 +954,9 @@ def build_corpus(
                 graph_cache_bytes=graph_cache_bytes,
                 obs_level=obs_level,
                 obs_dir=str(obs_path) if obs_path is not None else None,
-                run_id=run_id)
+                run_id=run_id,
+                trace=(tel.trace.to_dict()
+                       if tel.trace is not None else None))
             Supervisor(plan=plan, profile=profile, store=store,
                        corpus=corpus, workers=workers, ctx=ctx,
                        config=SchedulerConfig(**overrides),
@@ -929,7 +983,7 @@ def build_corpus(
             _, worker_snaps = merge_sinks(obs_path, tel.events)
             for snap in worker_snaps:
                 tel.merge_snapshot(snap)
-            tel.gauge_max("peak_rss_bytes", peak_rss_bytes())
+            tel.record_peak_rss()
             tel.emit("build_end", runs=len(corpus.runs),
                      failures=len(corpus.failures),
                      interrupted=corpus.interrupted,

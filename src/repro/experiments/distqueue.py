@@ -739,6 +739,13 @@ class Coordinator:
                 now, reason="node-lost")
         self._drain_requeues(now)
 
+    def _ctx(self, *parts):
+        """Deterministic child span of the build for task/node events
+        (``None`` when the build runs untraced)."""
+        if self.tel.trace is None:
+            return None
+        return self.tel.trace.child(*parts)
+
     def _declare_lost(self, node: str, node_claims: "list[Claim]",
                       beat: "NodeBeat | None", now: float) -> None:
         """Fence first, then revoke: after the fence write any publish
@@ -753,7 +760,8 @@ class Coordinator:
         self.corpus.nodes_lost += 1
         if self.tel.enabled:
             self.tel.inc("distqueue_nodes_lost_total")
-            self.tel.emit("distqueue", action="node-lost", node=node,
+            self.tel.emit("distqueue", _trace_ctx=self._ctx("node", node),
+                          action="node-lost", node=node,
                           fence_epoch=floor, claims=len(node_claims))
 
     def _revoke_node(self, node: str, node_claims: "list[Claim]",
@@ -779,7 +787,9 @@ class Coordinator:
             state.not_before = now + backoff
             if self.tel.enabled:
                 self.tel.inc("distqueue_requeues_total", node=node)
-                self.tel.emit("distqueue", action="lease-revoked",
+                self.tel.emit("distqueue",
+                              _trace_ctx=self._ctx("task", claim.task_id),
+                              action="lease-revoked",
                               task=claim.task_id, node=node,
                               epoch=claim.epoch, reason=reason,
                               backoff_s=backoff,
@@ -797,8 +807,11 @@ class Coordinator:
             if self.queue.release(claim):
                 self.corpus.queue_requeues += 1
                 if self.tel.enabled:
-                    self.tel.emit("distqueue", action="requeued",
-                                  task=claim.task_id, node=claim.node)
+                    self.tel.emit(
+                        "distqueue",
+                        _trace_ctx=self._ctx("task", claim.task_id),
+                        action="requeued",
+                        task=claim.task_id, node=claim.node)
 
     def _quarantine(self, state: _TaskState, claim: Claim,
                     reason: str) -> None:
@@ -818,9 +831,12 @@ class Coordinator:
         self.queue.drop_claim(claim)
         if self.tel.enabled:
             self.tel.inc("distqueue_quarantined_total")
-            self.tel.emit("distqueue", action="quarantined",
-                          task=state.record.task_id, node=claim.node,
-                          requeues=state.requeues)
+            self.tel.emit(
+                "distqueue",
+                _trace_ctx=self._ctx("task", state.record.task_id),
+                action="quarantined",
+                task=state.record.task_id, node=claim.node,
+                requeues=state.requeues)
 
     # ------------------------------------------------------------------
     # Collection (plan order)
@@ -899,8 +915,11 @@ class Coordinator:
         self.corpus.stale_done_markers += 1
         if self.tel.enabled:
             self.tel.inc("distqueue_stale_done_markers_total", node=node)
-            self.tel.emit("distqueue", action="stale-done-rejected",
-                          task=record.task_id, node=node, epoch=epoch)
+            self.tel.emit(
+                "distqueue",
+                _trace_ctx=self._ctx("task", record.task_id),
+                action="stale-done-rejected",
+                task=record.task_id, node=node, epoch=epoch)
         self.queue.drop_done(record.task_id)
         self.store.discard(record.cell_key)
         self.queue.publish(record)

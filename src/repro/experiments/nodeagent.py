@@ -225,7 +225,8 @@ class NodeAgent:
             checkpoint_every=m.get("checkpoint_every"),
             graph_cache_bytes=m.get("graph_cache_bytes"),
             obs_level=m.get("obs_level"), obs_dir=m.get("obs_dir"),
-            run_id=m.get("run_id"), node=self.node)
+            run_id=m.get("run_id"), node=self.node,
+            trace=m.get("trace"))
         self._site = Worksite(self.queue.node_workdir(self.node))
         self._crew = WorkerCrew(self.workers, self._site, ctx,
                                 heartbeat_every)
@@ -234,7 +235,8 @@ class NodeAgent:
         self._beats.start()
         self._started = True
         if self.tel.enabled:
-            self.tel.emit("node", action="start", workers=self.workers,
+            self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                          action="start", workers=self.workers,
                           embedded=self.embedded)
 
     def _configure_obs(self, m: dict) -> None:
@@ -245,14 +247,25 @@ class NodeAgent:
         from repro.obs.events import node_sink_path
         from repro.obs.telemetry import configure, get_telemetry
 
+        from repro.obs.tracing import TraceContext
+
         level = m.get("obs_level")
         obs_dir = m.get("obs_dir")
+        trace = TraceContext.from_dict(m.get("trace"))
         if self.embedded or not level or level == "off" or not obs_dir:
-            get_telemetry().set_node(self.node)
+            tel = get_telemetry()
+            tel.set_node(self.node)
+            if trace is not None:
+                tel.set_trace(trace)
             return
         configure(level, run_id=m.get("run_id"),
                   events_path=node_sink_path(obs_dir, self.node))
-        get_telemetry().set_node(self.node)
+        tel = get_telemetry()
+        tel.set_node(self.node)
+        # The manifest carries the coordinator's root context: cell
+        # spans executed on this node derive the same deterministic
+        # ids as anywhere else, so re-dispatches across nodes re-link.
+        tel.set_trace(trace)
         self._owns_obs = True
 
     def _beat_payload(self, done: bool = False) -> dict:
@@ -344,7 +357,8 @@ class NodeAgent:
             self._last_activity = time.monotonic()
             if self.tel.enabled:
                 self.tel.inc("distqueue_claims_total")
-                self.tel.emit("node", action="claim", task=task_id,
+                self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                              action="claim", task=task_id,
                               epoch=epoch)
             if self._resolve_cached(record, claim):
                 continue
@@ -473,7 +487,8 @@ class NodeAgent:
                  if task is not None else None)
         if self.tel.enabled:
             self.tel.inc("scheduler_worker_deaths_total")
-            self.tel.emit("node", action="worker-died",
+            self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                          action="worker-died",
                           worker=handle.worker, task=handle.task_id)
         if task is not None and lease is not None and not task.terminal:
             outcome = self._board.revoke_lease(task, lease, now,
@@ -492,7 +507,8 @@ class NodeAgent:
             return
         if self.tel.enabled:
             self.tel.inc("scheduler_lease_expiries_total")
-            self.tel.emit("node", action="lease-expired", task=task.id,
+            self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                          action="lease-expired", task=task.id,
                           worker=lease.worker, outcome=outcome)
         handle = self._crew.workers.get(lease.worker)
         if handle is not None:
@@ -577,7 +593,8 @@ class NodeAgent:
         self.stale_rejections += 1
         if self.tel.enabled:
             self.tel.inc("distqueue_stale_rejections_total")
-            self.tel.emit("node", action="stale-epoch-rejected",
+            self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                          action="stale-epoch-rejected",
                           task=task_id, epoch=epoch,
                           fence=self.queue.fence_epoch(self.node))
         self._beats.beat()
@@ -600,12 +617,22 @@ class NodeAgent:
             self._plane_failed = True
             self._manifests = {}
 
+    def _node_ctx(self):
+        """Per-event causal context for node-lifecycle events: a
+        deterministic child of the build span keyed by node id."""
+        if self.tel.trace is None:
+            return None
+        return self.tel.trace.child("node", self.node)
+
     def _emit_transition(self, task: Task, old: str, new: str,
                          info: dict) -> None:
         if not self.tel.enabled:
             return
         self.tel.inc("scheduler_transitions_total", to=new)
-        self.tel.emit("task", task=task.id, task_kind=task.kind,
+        ctx = (self.tel.trace.child("task", task.id)
+               if self.tel.trace is not None else None)
+        self.tel.emit("task", _trace_ctx=ctx, task=task.id,
+                      task_kind=task.kind,
                       **{"from": old, "to": new}, **info)
 
     # ------------------------------------------------------------------
@@ -635,8 +662,10 @@ class NodeAgent:
             self._beats.beat(done=True)
             self._beats.stop()
         if self.tel.enabled:
-            self.tel.emit("node", action="stop",
+            self.tel.emit("node", _trace_ctx=self._node_ctx(),
+                          action="stop",
                           stale_rejections=self.stale_rejections)
+            self.tel.record_peak_rss()
         if self._owns_obs:
             self._flush_obs()
 

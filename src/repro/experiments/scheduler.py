@@ -914,5 +914,11 @@ class Supervisor:
         if not self.tel.enabled:
             return
         self.tel.inc("scheduler_transitions_total", to=new)
-        self.tel.emit("task", task=task.id, task_kind=task.kind,
+        # Every transition of one task shares a deterministic span
+        # (child of the build span, keyed by task id), so lease /
+        # revoke / re-dispatch cycles thread onto one trace node.
+        ctx = (self.tel.trace.child("task", task.id)
+               if self.tel.trace is not None else None)
+        self.tel.emit("task", _trace_ctx=ctx, task=task.id,
+                      task_kind=task.kind,
                       **{"from": old, "to": new}, **info)

@@ -229,6 +229,11 @@ class WorkerContext:
     #: Distributed builds: the node this worker belongs to, stamped
     #: into its telemetry events. None on single-node builds.
     node: "str | None" = None
+    #: Serialized build-root :class:`~repro.obs.tracing.TraceContext`;
+    #: workers re-install it so their cell spans derive the same
+    #: deterministic ids as the parent (causal re-linking across
+    #: dispatches and resumes).
+    trace: "dict | None" = None
 
 
 def _maybe_stall(envelope: TaskEnvelope, beats: HeartbeatWriter) -> None:
@@ -327,7 +332,7 @@ def worker_main(worker: int, task_queue, result_queue,
     from repro.experiments.graph_cache import configure_default_cache
 
     _configure_worker_obs(ctx.obs_level, ctx.obs_dir, ctx.run_id,
-                          node=ctx.node)
+                          node=ctx.node, trace=ctx.trace)
     configure_default_cache(ctx.graph_cache_bytes)
     site = Worksite(worksite_root)
     beats = HeartbeatWriter(site.heartbeat_path(worker), worker,

@@ -24,6 +24,8 @@ from repro.obs.export import (
     write_prometheus,
     write_telemetry_json,
 )
+from repro.obs.benchdiff import compare_artifacts, render_bench_compare
+from repro.obs.critpath import critical_path, render_critical_path
 from repro.obs.telemetry import (
     BASIC_SAMPLE_EVERY,
     OBS_DIR_ENV,
@@ -41,6 +43,13 @@ from repro.obs.telemetry import (
     resolve_obs_level,
     validate_obs_level,
 )
+from repro.obs.tracing import (
+    TraceContext,
+    build_span_tree,
+    derive_id,
+    derive_run_id,
+    render_trace,
+)
 
 __all__ = [
     "BASIC_SAMPLE_EVERY",
@@ -56,8 +65,14 @@ __all__ = [
     "Histogram",
     "SpanHandle",
     "Telemetry",
+    "TraceContext",
+    "build_span_tree",
+    "compare_artifacts",
     "configure",
+    "critical_path",
     "deactivate",
+    "derive_id",
+    "derive_run_id",
     "engine_observer",
     "get_telemetry",
     "load_telemetry",
@@ -65,7 +80,10 @@ __all__ = [
     "peak_rss_bytes",
     "read_all_events",
     "read_events",
+    "render_bench_compare",
+    "render_critical_path",
     "render_prometheus",
+    "render_trace",
     "resolve_obs_level",
     "validate_obs_level",
     "worker_metrics_path",

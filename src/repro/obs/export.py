@@ -33,18 +33,25 @@ def render_prometheus(snapshot: dict[str, Any]) -> str:
     lines: list[str] = []
     for name, entries in snapshot.get("counters", {}).items():
         full = f"{PROM_PREFIX}{name}"
+        lines.append(f"# HELP {full} monotonic counter (sum-merged "
+                     f"across workers)")
         lines.append(f"# TYPE {full} counter")
         for entry in entries:
             lines.append(f"{full}{_prom_labels(entry['labels'])} "
                          f"{entry['value']:g}")
     for name, entries in snapshot.get("gauges", {}).items():
         full = f"{PROM_PREFIX}{name}"
+        lines.append(f"# HELP {full} peak gauge (max-merged across "
+                     f"workers)")
         lines.append(f"# TYPE {full} gauge")
         for entry in entries:
             lines.append(f"{full}{_prom_labels(entry['labels'])} "
                          f"{entry['value']:g}")
     for name, entries in snapshot.get("histograms", {}).items():
         full = f"{PROM_PREFIX}{name}"
+        lines.append(f"# HELP {full} summary: nearest-rank quantiles "
+                     f"plus exact _count/_sum for rate and mean "
+                     f"derivation")
         lines.append(f"# TYPE {full} summary")
         for entry in entries:
             labels = dict(entry["labels"])

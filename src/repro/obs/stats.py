@@ -86,8 +86,8 @@ def _fmt_bytes(value: float) -> str:
 
 # -- stats rendering ---------------------------------------------------
 
-def _node_table(events: list[dict[str, Any]]) -> "str | None":
-    """Per-node activity table for distributed builds.
+def _node_rollup(events: list[dict[str, Any]]) -> dict[str, dict[str, int]]:
+    """Per-node activity counts for distributed builds.
 
     Aggregated from the merged event stream (every node agent's sink
     carries its ``node`` stamp), so it works on a coordinator's obs
@@ -110,6 +110,11 @@ def _node_table(events: list[dict[str, Any]]) -> "str | None":
             row["claims"] += 1
         elif kind == "node" and action == "stale-epoch-rejected":
             row["stale"] += 1
+    return per_node
+
+
+def _node_table(events: list[dict[str, Any]]) -> "str | None":
+    per_node = _node_rollup(events)
     if not per_node:
         return None
     rows = [[node, row["events"], row["claims"], row["cells"],
@@ -118,6 +123,62 @@ def _node_table(events: list[dict[str, Any]]) -> "str | None":
     return format_table(
         ["node", "events", "claims", "cells", "stale stores"],
         rows, title=f"Nodes ({len(per_node)})")
+
+
+#: telemetry.json keys surfaced in the stats header / JSON meta block.
+_META_KEYS = ("run", "level", "profile", "workers", "build_seconds",
+              "interrupted", "generated_at", "schema")
+
+
+def stats_payload(run_dir: "str | Path", *,
+                  node: "str | None" = None) -> dict[str, Any]:
+    """Machine-readable ``repro stats --format json`` payload.
+
+    Mirrors the human report's inputs — the ``telemetry.json`` metric
+    snapshot plus event-derived rollups — without any table
+    formatting, so CI and downstream services can consume telemetry
+    without scraping ASCII.
+    """
+
+    obs_dir = resolve_run_dir(run_dir)
+    payload = load_telemetry(obs_dir)
+    events = read_all_events(obs_dir)
+    if payload is None and not events:
+        raise ValidationError(f"no telemetry data in {obs_dir}")
+    nodes = _node_rollup(events)
+    if node is not None:
+        events = [e for e in events if e.get("node") == node]
+        if not events:
+            raise ValidationError(
+                f"no events stamped node={node!r} in {obs_dir}")
+    cells = []
+    for event in events:
+        if event.get("kind") != "cell_end":
+            continue
+        cells.append({
+            "cell": event.get("cell"),
+            "status": event.get("status"),
+            "source": event.get("source"),
+            "graph_source": event.get("graph_source"),
+            "failure_kind": event.get("failure_kind"),
+            "attempts": event.get("attempts", 1),
+            "materialize_s": float(event.get("materialize_s", 0.0)),
+            "engine_s": float(event.get("engine_s", 0.0)),
+            "store_s": float(event.get("store_s", 0.0)),
+            "node": event.get("node"),
+        })
+    cells.sort(key=lambda c: str(c["cell"]))
+    meta = {key: payload[key] for key in _META_KEYS
+            if payload and key in payload}
+    return {
+        "obs_dir": str(obs_dir),
+        "node_filter": node,
+        "meta": meta,
+        "metrics": (payload or {}).get("metrics", {}),
+        "nodes": nodes,
+        "cells": cells,
+        "n_events": len(events),
+    }
 
 
 def render_stats(run_dir: "str | Path", *,
@@ -244,9 +305,22 @@ def render_stats(run_dir: "str | Path", *,
     if trips:
         extras.append("health trips: " + ", ".join(
             f"{cond}={int(n)}" for cond, n in sorted(trips.items())))
-    for entry in _entries(snapshot, "gauges", "peak_rss_bytes"):
-        extras.append(f"peak RSS: {_fmt_bytes(float(entry['value']))}")
-        break
+    rss_entries = _entries(snapshot, "gauges", "peak_rss_bytes")
+    if rss_entries:
+        overall = max(float(e.get("value", 0.0)) for e in rss_entries)
+        extras.append(f"peak RSS: {_fmt_bytes(overall)}")
+        labeled = [e for e in rss_entries if e.get("labels")]
+        if len(labeled) > 1:
+            # One series per worker pid (plus node on distributed
+            # builds) — the whole point of the labels is that workers
+            # no longer overwrite each other in the merged rollup.
+            parts = []
+            for e in sorted(labeled,
+                            key=lambda e: -float(e.get("value", 0.0))):
+                labels = e.get("labels", {})
+                who = labels.get("node") or f"pid {labels.get('pid', '?')}"
+                parts.append(f"{who}={_fmt_bytes(float(e['value']))}")
+            extras.append("peak RSS by worker: " + ", ".join(parts))
     if extras:
         sections.append("\n".join(extras))
 
@@ -334,7 +408,10 @@ def render_stats(run_dir: "str | Path", *,
 
 # -- tail rendering ----------------------------------------------------
 
-_SKIP_FIELDS = {"ts", "kind", "pid", "run", "cell", "attempt", "node"}
+#: ``trace``/``span``/``parent`` are causal plumbing (``repro trace``
+#: renders them); showing 12-hex ids on every tail line is noise.
+_SKIP_FIELDS = {"ts", "kind", "pid", "run", "cell", "attempt", "node",
+                "trace", "span", "parent"}
 
 
 def format_event(event: dict[str, Any]) -> str:

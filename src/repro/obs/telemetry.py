@@ -41,6 +41,7 @@ from typing import Any, Iterator
 
 from repro._util.errors import ValidationError
 from repro.obs.events import EventLog
+from repro.obs.tracing import TraceContext
 
 #: Recognised observability levels, least to most verbose.
 OBS_LEVELS = ("off", "basic", "full")
@@ -196,6 +197,7 @@ class Telemetry:
         self.node = node
         self.cell: "str | None" = None
         self.attempt: "int | None" = None
+        self.trace: "TraceContext | None" = None
         self._counters: dict[str, dict[tuple, float]] = {}
         self._gauges: dict[str, dict[tuple, float]] = {}
         self._histograms: dict[str, dict[tuple, Histogram]] = {}
@@ -220,6 +222,30 @@ class Telemetry:
         identity. Unlike cell/attempt, the node never changes for the
         life of the process, so it is set once rather than per-cell."""
         self.node = node
+
+    def set_trace(self, trace: "TraceContext | None") -> None:
+        """Install the ambient causal context stamped onto events.
+
+        Span ids are deterministic (see :mod:`repro.obs.tracing`), so
+        setting the same cell context on a retried or re-dispatched
+        attempt re-links its events to the original span node.
+        """
+        self.trace = trace
+
+    def record_peak_rss(self) -> None:
+        """Record this process's peak RSS under worker/node labels.
+
+        Pool workers and node agents share gauge *names* when their
+        registries merge back into the parent; labeling by pid (and
+        node, when set) keeps each worker's peak as its own series
+        instead of all of them collapsing into one process-wide max.
+        """
+        if not self.enabled:
+            return
+        labels: dict[str, Any] = {"pid": os.getpid()}
+        if self.node is not None:
+            labels["node"] = self.node
+        self.gauge_max("peak_rss_bytes", peak_rss_bytes(), **labels)
 
     # -- metric primitives --------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
@@ -270,12 +296,26 @@ class Telemetry:
                 self.observe(f"{name}_seconds", handle.seconds,
                              **handle.labels)
                 if self.full:
-                    self.emit("span", name=name, seconds=handle.seconds,
-                              **handle.labels)
+                    # Phase spans are children of the ambient span
+                    # (the cell), keyed by name + attempt so a retry's
+                    # phases get their own deterministic node.
+                    ctx = None
+                    if self.trace is not None:
+                        ctx = self.trace.child(name, self.attempt or 0)
+                    self.emit("span", _trace_ctx=ctx, name=name,
+                              seconds=handle.seconds, **handle.labels)
 
     # -- events --------------------------------------------------------
-    def emit(self, kind: str, **fields: Any) -> None:
-        """Append a structured event; no-op when off or no sink."""
+    def emit(self, kind: str,
+             _trace_ctx: "TraceContext | None" = None,
+             **fields: Any) -> None:
+        """Append a structured event; no-op when off or no sink.
+
+        The event is stamped with the causal context installed via
+        :meth:`set_trace`; *_trace_ctx* overrides it for one event
+        (used by the scheduler/agents to attribute task and node
+        events to their own spans without mutating ambient state).
+        """
 
         if not self.enabled or self.events is None:
             return
@@ -288,6 +328,9 @@ class Telemetry:
             event["cell"] = self.cell
         if self.attempt is not None:
             event["attempt"] = self.attempt
+        ctx = _trace_ctx if _trace_ctx is not None else self.trace
+        if ctx is not None:
+            event.update(ctx.to_dict())
         event.update(fields)
         self.events.append(event)
 

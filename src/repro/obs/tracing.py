@@ -1,0 +1,335 @@
+"""Causal tracing across the corpus-build DAG.
+
+A :class:`TraceContext` is a ``(trace_id, span_id, parent_span_id)``
+triple stamped onto every telemetry event.  IDs are **deterministic**
+— derived with blake2b from the build's profile name + seed and each
+span's natural key (cell cache key, scheduler task id, node id) rather
+than drawn at random.  Determinism is the re-link mechanism: a build
+that resumes after a crash, a retry after a revoked lease, and a
+re-dispatch on another node all derive the *same* span id for the same
+cell, so their events attach to the original span node instead of
+starting a disconnected tree.  That is what lets ``repro trace``
+reconstruct one connected tree per cell even across SIGKILLed workers
+and fenced nodes (DESIGN §12's "observe, never participate" rule
+still holds — ids are pure functions of build inputs).
+
+Span-node identity is *flat by construction*: cell lifecycle events
+(``cell_start``/``retry``/``cell_end``) all carry the cell span with
+the build span as parent, and the attempt number rides as an ordinary
+event field.  Phase spans (``materialize``/``engine_run``/
+``corpus_store``) are children of the cell span, keyed by attempt.
+Because ``cell_start`` always precedes any phase span in the same
+sink, a parent node exists for every child a surviving log can
+contain — an *orphan* (a span whose parent id never appears) therefore
+indicates real event loss, which is exactly what the chaos tests
+assert never happens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+#: Hex characters per id (blake2b digest_size=6 -> 12 hex chars).
+_ID_BYTES = 6
+
+#: Event kinds that *define* a span's lifetime boundaries (as opposed
+#: to merely being stamped with an ambient span id).
+_OPEN_KINDS = {"build_start", "cell_start", "run_start"}
+_CLOSE_KINDS = {"build_end", "cell_end", "run_end"}
+
+
+def derive_id(*parts: Any) -> str:
+    """Deterministic short id from the joined string forms of *parts*."""
+
+    h = hashlib.blake2b(digest_size=_ID_BYTES)
+    for part in parts:
+        h.update(str(part).encode("utf-8", "replace"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def derive_run_id(profile_name: str, seed: int) -> str:
+    """Deterministic run id for a corpus build.
+
+    Two builds of the same (profile, seed) — e.g. a crash and its
+    resume — share a run id, so their events merge into one trace
+    instead of two.  One-shot CLI runs keep random ids; only corpus
+    builds need re-link semantics.
+    """
+
+    return derive_id("run", profile_name, seed)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable causal position: which trace, which span, whose child."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: "str | None" = None
+
+    @classmethod
+    def for_build(cls, profile_name: str, seed: int) -> "TraceContext":
+        """Root context of a corpus build (the build span)."""
+
+        trace = derive_id("trace", profile_name, seed)
+        return cls(trace_id=trace, span_id=derive_id(trace, "build"))
+
+    def child(self, *parts: Any) -> "TraceContext":
+        """Derive a child context keyed by *parts* under this span."""
+
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_id(self.span_id, *parts),
+            parent_span_id=self.span_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"trace": self.trace_id,
+                               "span": self.span_id}
+        if self.parent_span_id is not None:
+            out["parent"] = self.parent_span_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, Any] | None") \
+            -> "TraceContext | None":
+        if not data or "trace" not in data or "span" not in data:
+            return None
+        return cls(trace_id=str(data["trace"]),
+                   span_id=str(data["span"]),
+                   parent_span_id=(str(data["parent"])
+                                   if data.get("parent") else None))
+
+
+# -- span-tree reconstruction ------------------------------------------
+
+class SpanNode:
+    """One reconstructed span: all events sharing a span id."""
+
+    __slots__ = ("span_id", "parent_id", "name", "kind", "first_ts",
+                 "last_ts", "n_events", "children", "status", "node",
+                 "attempts")
+
+    def __init__(self, span_id: str, parent_id: "str | None") -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name: "str | None" = None
+        self.kind: "str | None" = None
+        self.first_ts = float("inf")
+        self.last_ts = float("-inf")
+        self.n_events = 0
+        self.children: list[SpanNode] = []
+        self.status: "str | None" = None
+        self.node: "str | None" = None
+        self.attempts = 0
+
+    @property
+    def seconds(self) -> float:
+        if self.n_events == 0 or self.last_ts < self.first_ts:
+            return 0.0
+        return self.last_ts - self.first_ts
+
+    def absorb(self, event: dict[str, Any]) -> None:
+        self.n_events += 1
+        ts = float(event.get("ts", 0.0))
+        kind = str(event.get("kind", "?"))
+        begin = ts
+        if kind == "span":
+            # Span events are emitted at region end with the measured
+            # duration; back-date the open edge.
+            begin = ts - float(event.get("seconds", 0.0))
+        if begin < self.first_ts:
+            self.first_ts = begin
+        if ts > self.last_ts:
+            self.last_ts = ts
+        name = self._name_for(event, kind)
+        if name is not None and (self.name is None
+                                 or kind in _OPEN_KINDS
+                                 or kind in _CLOSE_KINDS):
+            self.name = name
+            self.kind = kind
+        if "status" in event:
+            self.status = str(event["status"])
+        if event.get("node"):
+            self.node = str(event["node"])
+        attempt = event.get("attempt") or event.get("attempts")
+        if attempt is not None:
+            try:
+                self.attempts = max(self.attempts, int(attempt))
+            except (TypeError, ValueError):
+                pass
+
+    @staticmethod
+    def _name_for(event: dict[str, Any], kind: str) -> "str | None":
+        if kind in ("build_start", "build_end"):
+            return f"build {event.get('profile', event.get('run', ''))}" \
+                .strip()
+        if kind in ("run_start", "run_end"):
+            return f"cli {event.get('command', event.get('run', ''))}" \
+                .strip()
+        if kind in ("cell_start", "cell_end", "retry", "progress"):
+            cell = event.get("cell")
+            return str(cell) if cell else None
+        if kind == "span":
+            return str(event.get("name", "span"))
+        if kind == "task":
+            return f"task {event.get('task', '?')}"
+        if kind in ("node", "distqueue", "scheduler"):
+            base = event.get("node") or event.get("action") or kind
+            return f"{kind} {base}"
+        return None
+
+
+class SpanTree:
+    """Reconstructed forest of spans for one trace id."""
+
+    def __init__(self, trace_id: "str | None") -> None:
+        self.trace_id = trace_id
+        self.nodes: dict[str, SpanNode] = {}
+        self.roots: list[SpanNode] = []
+        self.orphans: list[SpanNode] = []
+        self.n_events = 0
+
+    @property
+    def connected(self) -> bool:
+        return not self.orphans
+
+
+def list_traces(events: Iterable[dict[str, Any]]) -> list[str]:
+    """Distinct trace ids present in an event stream, oldest first."""
+
+    seen: dict[str, float] = {}
+    for event in events:
+        trace = event.get("trace")
+        if trace and trace not in seen:
+            seen[str(trace)] = float(event.get("ts", 0.0))
+    return sorted(seen, key=lambda t: seen[t])
+
+
+def build_span_tree(events: Iterable[dict[str, Any]],
+                    trace_id: "str | None" = None) -> SpanTree:
+    """Reconstruct the span forest for one trace.
+
+    With *trace_id* None the first trace seen in the stream is used.
+    Nodes whose (non-null) parent id never appears among the seen span
+    ids are reported as **orphans**: with deterministic derivation an
+    orphan can only mean the parent's events were lost.
+    """
+
+    events = list(events)
+    if trace_id is None:
+        traces = list_traces(events)
+        trace_id = traces[0] if traces else None
+    tree = SpanTree(trace_id)
+    for event in events:
+        span = event.get("span")
+        if not span or (trace_id is not None
+                        and event.get("trace") != trace_id):
+            continue
+        span = str(span)
+        parent = event.get("parent")
+        parent = str(parent) if parent else None
+        node = tree.nodes.get(span)
+        if node is None:
+            node = tree.nodes[span] = SpanNode(span, parent)
+        elif node.parent_id is None and parent is not None:
+            node.parent_id = parent
+        node.absorb(event)
+        tree.n_events += 1
+    for node in tree.nodes.values():
+        if node.parent_id is None:
+            tree.roots.append(node)
+        else:
+            parent_node = tree.nodes.get(node.parent_id)
+            if parent_node is None:
+                tree.orphans.append(node)
+            else:
+                parent_node.children.append(node)
+    for node in tree.nodes.values():
+        node.children.sort(key=lambda n: (n.first_ts, n.span_id))
+    tree.roots.sort(key=lambda n: (n.first_ts, n.span_id))
+    tree.orphans.sort(key=lambda n: (n.first_ts, n.span_id))
+    return tree
+
+
+# -- rendering ---------------------------------------------------------
+
+_BAR_WIDTH = 32
+
+
+def _timeline_bar(node: SpanNode, t0: float, t1: float,
+                  width: int = _BAR_WIDTH) -> str:
+    window = max(t1 - t0, 1e-9)
+    lo = max(0, min(width - 1,
+                    int((node.first_ts - t0) / window * width)))
+    hi = max(lo + 1, min(width,
+                         int((node.last_ts - t0) / window * width + 0.5)))
+    return "|" + "." * lo + "#" * (hi - lo) + "." * (width - hi) + "|"
+
+
+def _render_node(node: SpanNode, t0: float, t1: float, depth: int,
+                 lines: list[str], max_depth: "int | None") -> None:
+    label = node.name or node.span_id
+    extra = []
+    if node.status:
+        extra.append(node.status)
+    if node.attempts > 1:
+        extra.append(f"x{node.attempts}")
+    if node.node:
+        extra.append(f"@{node.node}")
+    suffix = f" [{' '.join(extra)}]" if extra else ""
+    indent = "  " * depth
+    head = f"{indent}{label}{suffix}"
+    bar = _timeline_bar(node, t0, t1)
+    lines.append(f"{head:<44.44} {bar} {node.seconds:8.3f}s "
+                 f"({node.n_events} ev)")
+    if max_depth is not None and depth + 1 >= max_depth:
+        return
+    for child in node.children:
+        _render_node(child, t0, t1, depth + 1, lines, max_depth)
+
+
+def render_trace(events: Iterable[dict[str, Any]], *,
+                 trace_id: "str | None" = None,
+                 cell: "str | None" = None,
+                 max_depth: "int | None" = None) -> str:
+    """``repro trace``: span tree + ASCII timeline + orphan report.
+
+    With *cell*, only the subtree(s) whose span name matches the cell
+    label are rendered (orphan accounting still covers the whole
+    trace).
+    """
+
+    tree = build_span_tree(events, trace_id)
+    if not tree.nodes:
+        return ("no spans found" +
+                (f" for trace {trace_id}" if trace_id else "") +
+                " (was the build run with --obs full?)\n")
+    t0 = min(n.first_ts for n in tree.nodes.values())
+    t1 = max(n.last_ts for n in tree.nodes.values())
+    lines = [
+        f"trace {tree.trace_id}: {len(tree.nodes)} spans over "
+        f"{tree.n_events} events, window {max(t1 - t0, 0.0):.3f}s",
+        f"orphan spans: {len(tree.orphans)}",
+        "",
+    ]
+    if cell is not None:
+        targets = [n for n in tree.nodes.values() if n.name == cell]
+        if not targets:
+            lines.append(f"no span named {cell!r} in this trace")
+        for node in targets:
+            _render_node(node, t0, t1, 0, lines, max_depth)
+    else:
+        for root in tree.roots:
+            _render_node(root, t0, t1, 0, lines, max_depth)
+    if tree.orphans:
+        lines.append("")
+        lines.append("ORPHANED SPANS (parent events missing — "
+                     "possible event loss):")
+        for node in tree.orphans:
+            lines.append(f"  {node.name or node.span_id} "
+                         f"(span {node.span_id}, "
+                         f"missing parent {node.parent_id})")
+    return "\n".join(lines) + "\n"

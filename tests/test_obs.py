@@ -367,7 +367,21 @@ class TestExporters:
 
     def test_write_prometheus_file(self, tmp_path):
         path = write_prometheus(tmp_path, self._snapshot())
-        assert path.read_text(encoding="utf-8").startswith("# TYPE")
+        assert path.read_text(encoding="utf-8").startswith("# HELP")
+
+    def test_prometheus_help_and_summary_aggregates(self):
+        # Downstream consumers derive rates and means from the exact
+        # _count/_sum pair next to the nearest-rank quantiles; pin the
+        # exposition shape.
+        text = render_prometheus(self._snapshot())
+        assert "# HELP repro_corpus_cells_total" in text
+        assert "# HELP repro_peak_rss_bytes" in text
+        assert "# HELP repro_engine_iteration_seconds" in text
+        assert "# TYPE repro_engine_iteration_seconds summary" in text
+        assert ('repro_engine_iteration_seconds_sum'
+                '{engine="synchronous"} 0.25') in text
+        assert ('repro_engine_iteration_seconds_count'
+                '{engine="synchronous"} 1') in text
 
 
 class TestGlobalConfigure:
